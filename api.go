@@ -1,0 +1,297 @@
+package microsliced
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/microslicedcore/microsliced/internal/core"
+	"github.com/microslicedcore/microsliced/internal/experiment"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+	"github.com/microslicedcore/microsliced/internal/workload"
+)
+
+// Mode selects how the micro-sliced pool is managed in a scenario.
+type Mode string
+
+// Mechanism modes.
+const (
+	// Off runs vanilla Xen credit scheduling (the paper's Baseline).
+	Off Mode = "off"
+	// Static dedicates a fixed number of micro-sliced cores.
+	Static Mode = "static"
+	// Dynamic sizes the pool with the paper's Algorithm 1.
+	Dynamic Mode = "dynamic"
+)
+
+// VM describes one virtual machine of a scenario.
+type VM struct {
+	// Name identifies the VM in the results (defaults to the App name).
+	Name string
+	// App is a workload from Workloads().
+	App string
+	// VCPUs defaults to 12 (the paper's configuration).
+	VCPUs int
+	// Seed controls the workload's random durations (defaults to a
+	// per-index constant).
+	Seed uint64
+	// Disk attaches a virtual block device (needed by "fileserver").
+	Disk bool
+}
+
+// Scenario is a consolidated-host simulation.
+type Scenario struct {
+	// PCPUs defaults to 12.
+	PCPUs int
+	// VMs share the host.
+	VMs []VM
+	// Mode selects the micro-sliced mechanism (defaults to Off).
+	Mode Mode
+	// StaticCores sizes the micro pool when Mode == Static.
+	StaticCores int
+	// Seconds of virtual time to simulate (defaults to 3).
+	Seconds float64
+	// Stagger starts VM i at i*7ms so co-runner phases drift (defaults
+	// to true when more than one VM is present).
+	Stagger *bool
+	// Rival replaces the paper's mechanism with a prior-work system:
+	// "cosched", "fixed-usliced", "vturbo" or "vtrs" (Mode must be Off).
+	Rival string
+}
+
+// VMStats is one VM's outcome.
+type VMStats struct {
+	Name string
+	App  string
+	// WorkUnits counts completed application iterations (messages,
+	// flush cycles, compute bursts, ...). Ratios of WorkUnits between
+	// runs of equal Seconds give normalized execution time / throughput.
+	WorkUnits uint64
+	// Yields decomposed by source.
+	YieldsIPI, YieldsSpinlock, YieldsHalt, YieldsOther uint64
+	// CPUSeconds of virtual execution time across the VM's vCPUs.
+	CPUSeconds float64
+	// TLBSyncAvgUs / TLBSyncMaxUs summarize TLB-shootdown latency.
+	TLBSyncAvgUs, TLBSyncMaxUs float64
+	// LockWaitAvgUs is the mean contended spinlock wait per Lockstat
+	// class.
+	LockWaitAvgUs map[string]float64
+}
+
+// TotalYields sums the yield sources.
+func (s *VMStats) TotalYields() uint64 {
+	return s.YieldsIPI + s.YieldsSpinlock + s.YieldsHalt + s.YieldsOther
+}
+
+// Results is the outcome of Simulate.
+type Results struct {
+	VMs []VMStats
+	// MicroCoresAvg is the time-weighted mean size of the micro pool.
+	MicroCoresAvg float64
+	// HypervisorCounters exposes raw scheduler counters (dispatches,
+	// migrations, boosts, ...).
+	HypervisorCounters map[string]uint64
+	// DetectorCounters exposes the micro-sliced controller's counters.
+	DetectorCounters map[string]uint64
+	// CriticalSymbolHits histograms the critical kernel symbols observed
+	// at preempted vCPUs' instruction pointers.
+	CriticalSymbolHits map[string]uint64
+}
+
+// VM returns the stats of the named VM (nil if absent).
+func (r *Results) VM(name string) *VMStats {
+	for i := range r.VMs {
+		if r.VMs[i].Name == name {
+			return &r.VMs[i]
+		}
+	}
+	return nil
+}
+
+// Workloads lists the available applications (the paper's suite).
+func Workloads() []string { return workload.Catalog() }
+
+// Simulate runs a scenario to completion and returns its measurements.
+// Runs are deterministic: the same scenario always produces the same
+// results.
+func Simulate(s Scenario) (*Results, error) {
+	if len(s.VMs) == 0 {
+		return nil, fmt.Errorf("microsliced: scenario has no VMs")
+	}
+	setup := experiment.Setup{PCPUs: s.PCPUs}
+	if s.Seconds > 0 {
+		setup.Duration = simtime.Duration(s.Seconds * float64(simtime.Second))
+	}
+	if s.Stagger != nil {
+		setup.StaggerStart = *s.Stagger
+	} else {
+		setup.StaggerStart = len(s.VMs) > 1
+	}
+	for i, vm := range s.VMs {
+		name := vm.Name
+		if name == "" {
+			name = vm.App
+		}
+		seed := vm.Seed
+		if seed == 0 {
+			seed = uint64(11 * (i + 1))
+		}
+		setup.VMs = append(setup.VMs, experiment.VMSpec{
+			Name: name, App: vm.App, VCPUs: vm.VCPUs, Seed: seed, Disk: vm.Disk,
+		})
+	}
+	switch s.Mode {
+	case Off, "":
+		cc := core.DefaultConfig()
+		cc.Mode = core.ModeOff
+		setup.Core = cc
+	case Static:
+		setup.Core = core.StaticConfig(s.StaticCores)
+	case Dynamic:
+		setup.Core = core.DefaultConfig()
+	default:
+		return nil, fmt.Errorf("microsliced: unknown mode %q", s.Mode)
+	}
+	if s.Rival != "" {
+		if s.Mode != Off && s.Mode != "" {
+			return nil, fmt.Errorf("microsliced: rival %q requires Mode == Off", s.Rival)
+		}
+		setup.Rival = experiment.Rival(s.Rival)
+	}
+	res, err := experiment.Run(setup)
+	if err != nil {
+		return nil, err
+	}
+	out := &Results{
+		MicroCoresAvg:      res.MicroAvg,
+		HypervisorCounters: res.HV,
+		DetectorCounters:   res.Core,
+		CriticalSymbolHits: res.SymbolHits,
+	}
+	for _, vm := range res.VMs {
+		st := VMStats{
+			Name:           vm.Name,
+			App:            vm.App,
+			WorkUnits:      vm.Units,
+			YieldsIPI:      vm.Yields.IPI,
+			YieldsSpinlock: vm.Yields.PLE,
+			YieldsHalt:     vm.Yields.Halt,
+			YieldsOther:    vm.Yields.Other,
+			CPUSeconds:     vm.RanTotal.Seconds(),
+			LockWaitAvgUs:  map[string]float64{},
+		}
+		if vm.TLB.Count() > 0 {
+			st.TLBSyncAvgUs = vm.TLB.Mean() / 1000
+			st.TLBSyncMaxUs = float64(vm.TLB.Max()) / 1000
+		}
+		for class, h := range vm.LockStat {
+			if h.Count() > 0 {
+				st.LockWaitAvgUs[class] = h.Mean() / 1000
+			}
+		}
+		out.VMs = append(out.VMs, st)
+	}
+	return out, nil
+}
+
+// IPerfResult is the outcome of an iPerf scenario.
+type IPerfResult struct {
+	Mbps     float64
+	JitterMs float64
+	Loss     float64
+}
+
+// SimulateIPerf runs the paper's I/O scenario (§3.3, Figure 9): an iPerf
+// server VM — mixed with a CPU hog on the same vCPU when mixed is true,
+// and co-located with a lookbusy VM on one pCPU — measuring the
+// application-level stream. proto is "tcp" or "udp".
+func SimulateIPerf(proto string, mixed bool, mode Mode, staticCores int, seconds float64) (*IPerfResult, error) {
+	var cc core.Config
+	switch mode {
+	case Off, "":
+		cc = core.DefaultConfig()
+		cc.Mode = core.ModeOff
+	case Static:
+		cc = core.StaticConfig(staticCores)
+	case Dynamic:
+		cc = core.DefaultConfig()
+	default:
+		return nil, fmt.Errorf("microsliced: unknown mode %q", mode)
+	}
+	dur := simtime.Duration(seconds * float64(simtime.Second))
+	if dur <= 0 {
+		dur = experiment.DefaultDuration
+	}
+	m, err := experiment.RunIO(proto, mixed, cc, dur)
+	if err != nil {
+		return nil, err
+	}
+	return &IPerfResult{Mbps: m.Mbps, JitterMs: m.JitterMs, Loss: m.Loss}, nil
+}
+
+// Experiments lists the reproducible artefacts of the paper's evaluation.
+func Experiments() []string {
+	return []string{
+		"table1", "table2", "table3", "table4a", "table4b", "table4c",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	}
+}
+
+// Reproduce regenerates one of the paper's tables or figures (see
+// Experiments) with the given simulated duration per scenario, rendering
+// the result to w.
+func Reproduce(name string, seconds float64, w io.Writer) error {
+	dur := simtime.Duration(seconds * float64(simtime.Second))
+	if dur <= 0 {
+		dur = experiment.DefaultDuration
+	}
+	switch name {
+	case "table1":
+		r, err := experiment.Table1(dur)
+		return render(r, err, w)
+	case "table2":
+		r, err := experiment.Table2(dur)
+		return render(r, err, w)
+	case "table3":
+		r, err := experiment.Table3(dur)
+		return render(r, err, w)
+	case "table4a":
+		r, err := experiment.Table4a(dur)
+		return render(r, err, w)
+	case "table4b":
+		r, err := experiment.Table4b(dur)
+		return render(r, err, w)
+	case "table4c":
+		r, err := experiment.Table4c(dur)
+		return render(r, err, w)
+	case "fig4":
+		r, err := experiment.Figure4(dur)
+		return render(r, err, w)
+	case "fig5":
+		r, err := experiment.Figure5(dur)
+		return render(r, err, w)
+	case "fig6":
+		r, err := experiment.Figure6(dur, nil)
+		return render(r, err, w)
+	case "fig7":
+		r, err := experiment.Figure7(dur, nil)
+		return render(r, err, w)
+	case "fig8":
+		r, err := experiment.Figure8(dur)
+		return render(r, err, w)
+	case "fig9":
+		r, err := experiment.Figure9(dur)
+		return render(r, err, w)
+	default:
+		return fmt.Errorf("microsliced: unknown experiment %q (have %v)", name, Experiments())
+	}
+}
+
+type renderer interface{ Render(io.Writer) }
+
+func render(r renderer, err error, w io.Writer) error {
+	if err != nil {
+		return err
+	}
+	r.Render(w)
+	return nil
+}

@@ -1,0 +1,52 @@
+// Command ksymdump emits or inspects the synthetic guest System.map used
+// by the simulator.
+//
+//	ksymdump                      # print the System.map for seed 1
+//	ksymdump -seed 7              # a different kernel build layout
+//	ksymdump -classify ffffffff81012345
+//	ksymdump -whitelist           # print the paper's Table 3 whitelist
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/microslicedcore/microsliced/internal/ksym"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "kernel build seed")
+		classify  = flag.String("classify", "", "hex address to resolve and classify")
+		whitelist = flag.Bool("whitelist", false, "print the critical-component whitelist (paper Table 3)")
+	)
+	flag.Parse()
+	tab := ksym.Generate(*seed)
+	switch {
+	case *whitelist:
+		fmt.Printf("%-10s %-22s %-40s %-9s %s\n", "MODULE", "FILE", "OPERATION", "CLASS", "SEMANTIC")
+		for _, e := range ksym.Whitelist {
+			fmt.Printf("%-10s %-22s %-40s %-9s %s\n", e.Module, e.File, e.Name+"()", e.Class, e.Semantic)
+		}
+	case *classify != "":
+		addr, err := strconv.ParseUint(*classify, 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad address %q: %v\n", *classify, err)
+			os.Exit(1)
+		}
+		sym, ok := tab.Lookup(addr)
+		if !ok {
+			fmt.Printf("%#x: not in kernel text (%s)\n", addr, tab.NameOf(addr))
+			return
+		}
+		cls := ksym.Classify(sym.Name)
+		fmt.Printf("%#x: %s+%#x [%s] critical=%v\n", addr, sym.Name, addr-sym.Addr, cls, cls.Critical())
+	default:
+		if err := tab.Format(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

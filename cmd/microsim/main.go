@@ -1,0 +1,100 @@
+// Command microsim runs one consolidation scenario from flags and prints
+// the per-VM outcome: work units, yield decomposition, CPU time and the
+// critical-service latency statistics.
+//
+// Examples:
+//
+//	microsim -vms exim,swaptions -mode off -seconds 3
+//	microsim -vms dedup,swaptions -mode static -cores 3
+//	microsim -vms gmake,swaptions -mode dynamic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	microsliced "github.com/microslicedcore/microsliced"
+)
+
+func main() {
+	var (
+		vms     = flag.String("vms", "exim,swaptions", "comma-separated workloads, one VM each (see -list)")
+		mode    = flag.String("mode", "off", "micro-sliced mechanism: off, static, dynamic")
+		rival   = flag.String("rival", "", "prior-work system instead (cosched, fixed-usliced, vturbo, vtrs); needs -mode off")
+		cores   = flag.Int("cores", 1, "micro pool size for -mode static")
+		seconds = flag.Float64("seconds", 3, "simulated seconds")
+		pcpus   = flag.Int("pcpus", 12, "physical CPUs")
+		vcpus   = flag.Int("vcpus", 12, "vCPUs per VM")
+		list    = flag.Bool("list", false, "list available workloads and exit")
+		symbols = flag.Bool("symbols", false, "also print detected critical symbols")
+	)
+	flag.Parse()
+	if *list {
+		for _, w := range microsliced.Workloads() {
+			fmt.Println(w)
+		}
+		return
+	}
+	sc := microsliced.Scenario{
+		PCPUs:       *pcpus,
+		Mode:        microsliced.Mode(*mode),
+		StaticCores: *cores,
+		Seconds:     *seconds,
+		Rival:       *rival,
+	}
+	for i, app := range strings.Split(*vms, ",") {
+		app = strings.TrimSpace(app)
+		name := app
+		// Disambiguate duplicates (e.g. lookbusy,lookbusy).
+		for _, prev := range sc.VMs {
+			if prev.Name == name {
+				name = fmt.Sprintf("%s-%d", app, i)
+			}
+		}
+		sc.VMs = append(sc.VMs, microsliced.VM{Name: name, App: app, VCPUs: *vcpus})
+	}
+	res, err := microsliced.Simulate(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	label := *mode
+	if *rival != "" {
+		label = "rival:" + *rival
+	}
+	fmt.Printf("simulated %.2fs on %d pCPUs, mode=%s (avg micro cores %.2f)\n\n",
+		*seconds, *pcpus, label, res.MicroCoresAvg)
+	for _, vm := range res.VMs {
+		fmt.Printf("VM %-12s app=%-12s work=%-10d cpu=%.3fs\n", vm.Name, vm.App, vm.WorkUnits, vm.CPUSeconds)
+		fmt.Printf("   yields: ipi=%d spinlock=%d halt=%d other=%d\n",
+			vm.YieldsIPI, vm.YieldsSpinlock, vm.YieldsHalt, vm.YieldsOther)
+		if vm.TLBSyncAvgUs > 0 {
+			fmt.Printf("   tlb sync: avg=%.1fus max=%.1fus\n", vm.TLBSyncAvgUs, vm.TLBSyncMaxUs)
+		}
+		classes := make([]string, 0, len(vm.LockWaitAvgUs))
+		for c := range vm.LockWaitAvgUs {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Printf("   lock wait %-16s avg=%.2fus\n", c, vm.LockWaitAvgUs[c])
+		}
+		fmt.Println()
+	}
+	if *symbols && len(res.CriticalSymbolHits) > 0 {
+		fmt.Println("critical symbols observed at preempted vCPUs:")
+		names := make([]string, 0, len(res.CriticalSymbolHits))
+		for n := range res.CriticalSymbolHits {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return res.CriticalSymbolHits[names[i]] > res.CriticalSymbolHits[names[j]]
+		})
+		for _, n := range names {
+			fmt.Printf("   %-40s %d\n", n, res.CriticalSymbolHits[n])
+		}
+	}
+}

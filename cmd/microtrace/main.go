@@ -1,0 +1,116 @@
+// Command microtrace runs a consolidation scenario with the trace ring
+// enabled (the simulator's xentrace) and prints a per-vCPU scheduling
+// analysis, a yield-RIP histogram resolved through each guest's
+// System.map, and optionally the raw record tail.
+//
+//	microtrace -vms gmake,swaptions -mode off -seconds 1
+//	microtrace -vms dedup,swaptions -mode static -cores 3 -raw 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/microslicedcore/microsliced/internal/core"
+	"github.com/microslicedcore/microsliced/internal/guest"
+	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/ksym"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+	"github.com/microslicedcore/microsliced/internal/trace"
+	"github.com/microslicedcore/microsliced/internal/workload"
+)
+
+func main() {
+	var (
+		vms     = flag.String("vms", "gmake,swaptions", "comma-separated workloads, one VM each")
+		mode    = flag.String("mode", "off", "off, static, dynamic")
+		cores   = flag.Int("cores", 1, "micro cores for -mode static")
+		seconds = flag.Float64("seconds", 1, "simulated seconds")
+		pcpus   = flag.Int("pcpus", 12, "physical CPUs")
+		vcpus   = flag.Int("vcpus", 12, "vCPUs per VM")
+		ring    = flag.Int("ring", 1<<20, "trace ring capacity (records)")
+		raw     = flag.Int("raw", 0, "also dump the last N raw records")
+	)
+	flag.Parse()
+
+	clock := simtime.NewClock()
+	cfg := hv.DefaultConfig()
+	cfg.PCPUs = *pcpus
+	cfg.TraceCapacity = *ring
+	h := hv.New(clock, cfg)
+
+	tabs := map[int16]*ksym.Table{}
+	var kernels []*guest.Kernel
+	for i, app := range strings.Split(*vms, ",") {
+		app = strings.TrimSpace(app)
+		sym := ksym.Generate(1000 + uint64(i))
+		k := guest.NewKernel(h, fmt.Sprintf("%s-%d", app, i), *vcpus, sym, guest.DefaultParams())
+		tabs[int16(k.Dom.ID)] = sym
+		if _, err := workload.New(app, k, uint64(11*(i+1))); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		kernels = append(kernels, k)
+	}
+
+	cc := core.DefaultConfig()
+	switch *mode {
+	case "off":
+		cc.Mode = core.ModeOff
+	case "static":
+		cc = core.StaticConfig(*cores)
+	case "dynamic":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	ctrl, err := core.Attach(h, cc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h.Start()
+	ctrl.Start()
+	for i, k := range kernels {
+		if i == 0 {
+			k.StartAll()
+		} else {
+			k := k
+			clock.At(simtime.Time(i)*7*simtime.Millisecond, k.StartAll)
+		}
+	}
+	clock.RunUntil(simtime.Duration(*seconds * float64(simtime.Second)))
+
+	recs := h.Trace.Records()
+	trace.Analyze(recs).Render(os.Stdout)
+
+	fmt.Println("\nyield RIPs (by symbol):")
+	rips := trace.YieldRIPs(recs, func(dom int16, rip uint64) string {
+		if tab := tabs[dom]; tab != nil {
+			return fmt.Sprintf("dom%d:%s", dom, tab.NameOf(rip))
+		}
+		return "?"
+	})
+	names := make([]string, 0, len(rips))
+	for n := range rips {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return rips[names[i]] > rips[names[j]] })
+	for _, n := range names {
+		fmt.Printf("   %-48s %d\n", n, rips[n])
+	}
+
+	if *raw > 0 {
+		fmt.Printf("\nlast %d records:\n", *raw)
+		start := len(recs) - *raw
+		if start < 0 {
+			start = 0
+		}
+		for _, r := range recs[start:] {
+			fmt.Println(r)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation on the simulated testbed and prints them as text tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/microslicedcore/microsliced/internal/experiment"
+	"github.com/microslicedcore/microsliced/internal/report"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+func main() {
+	var (
+		runs = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs or 'all'")
+		secs = flag.Float64("seconds", 3, "simulated seconds per run")
+	)
+	flag.Parse()
+	dur := simtime.Duration(*secs * float64(simtime.Second))
+	want := map[string]bool{}
+	for _, r := range strings.Split(*runs, ",") {
+		want[strings.TrimSpace(r)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	type job struct {
+		name string
+		run  func() (report.Renderer, error)
+	}
+	var bests map[string]int
+	record := func(sweeps []*experiment.SweepResult) {
+		if bests == nil {
+			bests = map[string]int{}
+		}
+		for _, s := range sweeps {
+			bests[s.Workload] = s.BestStatic()
+		}
+	}
+	jobs := []job{
+		{"table1", func() (report.Renderer, error) { return experiment.Table1(dur) }},
+		{"table2", func() (report.Renderer, error) { return experiment.Table2(dur) }},
+		{"table3", func() (report.Renderer, error) { return experiment.Table3(dur) }},
+		{"table4a", func() (report.Renderer, error) { return experiment.Table4a(dur) }},
+		{"table4b", func() (report.Renderer, error) { return experiment.Table4b(dur) }},
+		{"table4c", func() (report.Renderer, error) { return experiment.Table4c(dur) }},
+		{"fig4", func() (report.Renderer, error) {
+			r, err := experiment.Figure4(dur)
+			if err == nil {
+				record(r.Sweeps)
+			}
+			return r, err
+		}},
+		{"fig5", func() (report.Renderer, error) {
+			r, err := experiment.Figure5(dur)
+			if err == nil {
+				record(r.Sweeps)
+			}
+			return r, err
+		}},
+		{"fig6", func() (report.Renderer, error) { return experiment.Figure6(dur, bests) }},
+		{"fig7", func() (report.Renderer, error) { return experiment.Figure7(dur, bests) }},
+		{"fig8", func() (report.Renderer, error) { return experiment.Figure8(dur) }},
+		{"fig9", func() (report.Renderer, error) { return experiment.Figure9(dur) }},
+		{"ext-usercs", func() (report.Renderer, error) { return experiment.ExtensionUserCS(dur) }},
+	}
+	for _, j := range jobs {
+		if !sel(j.name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%v simulated per scenario)...\n", j.name, dur)
+		r, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		r.Render(os.Stdout)
+	}
+}

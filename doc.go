@@ -1,0 +1,20 @@
+// Package microsliced is a simulation-based reproduction of "Accelerating
+// Critical OS Services in Virtualized Systems with Flexible Micro-sliced
+// Cores" (Ahn, Park, Heo, Huh — EuroSys 2018).
+//
+// The library contains a deterministic discrete-event model of a
+// consolidated virtualized host — a Xen-credit1-style hypervisor with
+// cpupools, PLE, boosting and pending-interrupt relay; a guest Linux kernel
+// model with qspinlocks, TLB-shootdown IPIs, softIRQ networking and a
+// synthetic System.map; a virtual NIC with iPerf-style traffic generators;
+// and the paper's suite of workloads — plus the paper's contribution: a
+// hypervisor-side detector that classifies preempted vCPUs from their
+// instruction pointer against the guest's symbol table and migrates vCPUs
+// caught in critical OS services onto a dynamically-sized pool of
+// 0.1 ms-sliced cores.
+//
+// The root package is the stable facade: build a Scenario, Simulate it, and
+// inspect the Results; or call Reproduce to regenerate any table or figure
+// of the paper's evaluation. Power users can reach the building blocks
+// through the commands in cmd/ and the runnable programs in examples/.
+package microsliced

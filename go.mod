@@ -1,0 +1,3 @@
+module github.com/microslicedcore/microsliced
+
+go 1.22

@@ -1,0 +1,429 @@
+// Package core implements the paper's contribution: flexible micro-sliced
+// cores.
+//
+// A Controller attaches to the hypervisor's yield and interrupt-relay
+// hooks. On every yield it reads the yielding vCPU's instruction pointer
+// (and, depending on the yield reason, the instruction pointers of the
+// domain's preempted sibling vCPUs), resolves them against the guest's
+// System.map, and classifies them with the Table-3 whitelist. vCPUs caught
+// inside critical OS services are migrated to the micro-sliced cpupool
+// (0.1 ms slice) so the suspended service completes within a
+// sub-millisecond turnaround, after which the hypervisor moves them home.
+//
+// The controller also implements the paper's Algorithm 1: a profiling
+// phase (10 ms) measures which urgent-event type dominates — pause-loop
+// exits, IPI waits, or device IRQs — and sizes the micro pool accordingly
+// (iterative search for IPI-dominant phases, a single core otherwise,
+// zero cores when the system is uncontended), re-evaluated every epoch.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/ksym"
+	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+// Mode selects how the micro pool is sized.
+type Mode uint8
+
+// Controller modes.
+const (
+	ModeOff     Mode = iota // vanilla Xen: no detection, no micro pool
+	ModeStatic              // fixed micro pool size (paper's static sweeps)
+	ModeDynamic             // Algorithm 1 adaptive sizing
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeStatic:
+		return "static"
+	case ModeDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterises the controller.
+type Config struct {
+	Mode        Mode
+	StaticCores int // micro pool size in ModeStatic
+
+	MaxMicroCores   int              // NUM_LIMIT_µCORES for the adaptive search
+	ProfileInterval simtime.Duration // Algorithm 1 profile phase (10 ms)
+	EpochInterval   simtime.Duration // Algorithm 1 run phase (1000 ms)
+
+	// AccelerateIO migrates preempted recipients of relayed vIRQs and
+	// reschedule vIPIs (paper §4.2, Figure 2) — the mixed-behaviour-vCPU
+	// fix that BOOSTING cannot provide.
+	AccelerateIO bool
+
+	// PreciseSelection restricts sibling migration to vCPUs whose RIP
+	// classifies as a critical service. Disabling it migrates any
+	// preempted sibling (ablation D1).
+	PreciseSelection bool
+
+	// UserCS enables the paper's §4.4 extension: user-level critical
+	// regions registered through RegisterUserRegions classify as critical
+	// and are accelerated like kernel services.
+	UserCS bool
+}
+
+// DefaultConfig returns the paper's dynamic configuration.
+func DefaultConfig() Config {
+	return Config{
+		Mode:             ModeDynamic,
+		MaxMicroCores:    3,
+		ProfileInterval:  10 * simtime.Millisecond,
+		EpochInterval:    1000 * simtime.Millisecond,
+		AccelerateIO:     true,
+		PreciseSelection: true,
+	}
+}
+
+// StaticConfig returns a static configuration with n micro cores.
+func StaticConfig(n int) Config {
+	c := DefaultConfig()
+	c.Mode = ModeStatic
+	c.StaticCores = n
+	return c
+}
+
+// eventStats is one profiling sample of urgent-event counts.
+type eventStats struct {
+	ipis uint64 // IPI-wait yields
+	ples uint64 // pause-loop exits
+	irqs uint64 // relayed device vIRQs
+}
+
+func (e eventStats) zero() bool { return e.ipis == 0 && e.ples == 0 && e.irqs == 0 }
+
+func (e eventStats) total() uint64 { return e.ipis + e.ples + e.irqs }
+
+// Controller is the micro-sliced-core mechanism.
+type Controller struct {
+	h        *hv.Hypervisor
+	cfg      Config
+	Counters *metrics.Set
+
+	// symtabs holds each domain's parsed System.map. The controller only
+	// ever reads (RIP, symtab) — never guest state — preserving
+	// transparency.
+	symtabs map[int]*ksym.Table
+	// userRegions is the per-domain table of registered user-level
+	// critical regions (§4.4 extension; empty unless Config.UserCS).
+	userRegions map[int][]ksym.UserRegion
+
+	// SymbolHits histograms the critical symbols observed at detection
+	// time (reproduces the paper's Table 3 methodology).
+	SymbolHits map[string]uint64
+
+	// MicroGauge integrates the micro pool size over time.
+	MicroGauge metrics.Gauge
+
+	// Adaptive state (Algorithm 1).
+	profileMode bool
+	numMicro    int
+	urEvents    []eventStats
+	runDelta    eventStats // urgent events observed during the last run phase
+	lastSnap    map[string]uint64
+	started     bool
+}
+
+// Attach builds a controller for h and installs its hooks. Call after all
+// domains have been created (their symbol tables are parsed here) and
+// before Start.
+func Attach(h *hv.Hypervisor, cfg Config) (*Controller, error) {
+	if cfg.MaxMicroCores <= 0 {
+		cfg.MaxMicroCores = 1
+	}
+	c := &Controller{
+		h:           h,
+		cfg:         cfg,
+		Counters:    metrics.NewSet(),
+		symtabs:     make(map[int]*ksym.Table),
+		userRegions: make(map[int][]ksym.UserRegion),
+		SymbolHits:  make(map[string]uint64),
+		urEvents:    make([]eventStats, cfg.MaxMicroCores+1),
+	}
+	for _, d := range h.Domains() {
+		if len(d.SymbolMap) == 0 {
+			return nil, fmt.Errorf("core: domain %s provided no System.map", d.Name)
+		}
+		tab, err := ksym.Parse(bytes.NewReader(d.SymbolMap))
+		if err != nil {
+			return nil, fmt.Errorf("core: parsing System.map of %s: %v", d.Name, err)
+		}
+		c.symtabs[d.ID] = tab
+	}
+	if cfg.Mode == ModeOff {
+		return c, nil
+	}
+	h.Hooks.OnYield = c.onYield
+	if cfg.AccelerateIO {
+		h.Hooks.OnVIRQRelay = c.onVIRQRelay
+		h.Hooks.OnVIPIRelay = c.onVIPIRelay
+	}
+	return c, nil
+}
+
+// Start activates the controller: static mode sizes the pool once; dynamic
+// mode launches the Algorithm 1 timer. Call after hv.Start.
+func (c *Controller) Start() {
+	if c.started {
+		panic("core: Start called twice")
+	}
+	c.started = true
+	switch c.cfg.Mode {
+	case ModeStatic:
+		n := c.h.SetMicroCount(c.cfg.StaticCores)
+		c.MicroGauge.Set(int64(c.h.Clock.Now()), float64(n))
+	case ModeDynamic:
+		c.lastSnap = c.snapshot()
+		c.h.Clock.After(c.cfg.ProfileInterval, c.adaptiveStep)
+	}
+}
+
+// MicroCount returns the current micro pool size.
+func (c *Controller) MicroCount() int { return c.h.MicroCount() }
+
+// Symtab returns the parsed symbol table of a domain (tests, tools).
+func (c *Controller) Symtab(domID int) *ksym.Table { return c.symtabs[domID] }
+
+// RegisterUserRegions installs a domain's user-level critical regions
+// (the §4.4 interface). Ignored unless Config.UserCS is enabled.
+func (c *Controller) RegisterUserRegions(domID int, regions []ksym.UserRegion) {
+	if !c.cfg.UserCS {
+		return
+	}
+	c.userRegions[domID] = append(c.userRegions[domID], regions...)
+}
+
+// classify resolves a vCPU's RIP against its domain's symbol table — or,
+// for user-space addresses, against the domain's registered user-level
+// critical regions.
+func (c *Controller) classify(v *hv.VCPU) (string, ksym.Class) {
+	rip := v.Guest.RIP()
+	if !ksym.IsKernelAddr(rip) {
+		if r, ok := ksym.LookupUserRegion(c.userRegions[v.DomID], rip); ok {
+			return "user:" + r.Name, ksym.ClassUserCS
+		}
+		return "", ksym.ClassNone
+	}
+	tab := c.symtabs[v.DomID]
+	if tab == nil {
+		return "", ksym.ClassNone
+	}
+	sym, ok := tab.Lookup(rip)
+	if !ok {
+		return "", ksym.ClassNone
+	}
+	return sym.Name, ksym.Classify(sym.Name)
+}
+
+// ---------------------------------------------------------------------------
+// Detection (paper §4.1, §4.2)
+// ---------------------------------------------------------------------------
+
+// onYield is the main detection entry point.
+func (c *Controller) onYield(v *hv.VCPU, reason hv.YieldReason) {
+	switch reason {
+	case hv.YieldPLE:
+		c.Counters.Counter("trigger.ple").Inc()
+		name, _ := c.classify(v)
+		c.hit(name)
+		// The yielder spins on a lock: accelerate preempted siblings
+		// caught inside critical sections (the likely lock holder). The
+		// spinner itself stays in the normal pool — running a waiter on a
+		// micro core would only burn the pool's capacity.
+		c.accelerateSiblings(v, false)
+	case hv.YieldIPIWait:
+		c.Counters.Counter("trigger.ipi").Inc()
+		name, cls := c.classify(v)
+		c.hit(name)
+		if cls == ksym.ClassIPI || cls == ksym.ClassTLB {
+			// One-to-many IPI (TLB shootdown): every preempted sibling
+			// must run to acknowledge — accelerate them all (§4.2).
+			c.accelerateSiblings(v, true)
+		}
+	default:
+		// Halt and other voluntary yields carry no urgency.
+	}
+}
+
+// migrate moves one vCPU to the micro pool, with bookkeeping.
+func (c *Controller) migrate(v *hv.VCPU) {
+	if v.State() != hv.StateRunnable || v.OnMicro() {
+		return
+	}
+	c.Counters.Counter("migrate.attempt").Inc()
+	if c.h.MigrateToMicro(v) {
+		c.Counters.Counter("migrate.ok").Inc()
+	}
+}
+
+// accelerateSiblings migrates preempted siblings of v to the micro pool.
+// With all set (TLB case) every preempted sibling goes; otherwise only
+// those whose RIP classifies as a critical service (precise selection).
+func (c *Controller) accelerateSiblings(v *hv.VCPU, all bool) {
+	for _, w := range v.Dom.VCPUs {
+		if w == v || w.State() != hv.StateRunnable || w.OnMicro() {
+			continue
+		}
+		name, cls := c.classify(w)
+		take := all
+		if !take {
+			if c.cfg.PreciseSelection {
+				take = cls.Critical()
+			} else {
+				take = true // ablation: imprecise selection
+			}
+		}
+		if !take {
+			continue
+		}
+		c.hit(name)
+		c.migrate(w)
+	}
+}
+
+// onVIRQRelay accelerates the recipient of a device IRQ when BOOST cannot
+// (the vCPU is runnable-but-preempted: the mixed-behaviour case).
+func (c *Controller) onVIRQRelay(target *hv.VCPU) {
+	if target.State() != hv.StateRunnable || target.OnMicro() {
+		return
+	}
+	c.Counters.Counter("trigger.virq").Inc()
+	c.Counters.Counter("migrate.attempt").Inc()
+	if c.h.MigrateToMicro(target) {
+		c.Counters.Counter("migrate.ok").Inc()
+	}
+}
+
+// onVIPIRelay accelerates preempted recipients of reschedule IPIs (the
+// I/O wakeup chain of Figure 2; call-function IPIs are handled by the
+// yield path instead).
+func (c *Controller) onVIPIRelay(src, target *hv.VCPU, vec hv.Vector) {
+	if vec != hv.VecResched {
+		return
+	}
+	if target.State() != hv.StateRunnable || target.OnMicro() {
+		return
+	}
+	c.Counters.Counter("trigger.vipi").Inc()
+	c.Counters.Counter("migrate.attempt").Inc()
+	if c.h.MigrateToMicro(target) {
+		c.Counters.Counter("migrate.ok").Inc()
+	}
+}
+
+func (c *Controller) hit(name string) {
+	if name == "" {
+		return
+	}
+	if !strings.HasPrefix(name, "user:") && ksym.Classify(name) == ksym.ClassNone {
+		return
+	}
+	c.SymbolHits[name]++
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: adaptive micro pool sizing
+// ---------------------------------------------------------------------------
+
+func (c *Controller) snapshot() map[string]uint64 {
+	return map[string]uint64{
+		"ipi":  c.h.Counters.Value("yield.ipi"),
+		"ple":  c.h.Counters.Value("yield.ple"),
+		"virq": c.h.Counters.Value("virq.sent"),
+	}
+}
+
+func (c *Controller) delta() eventStats {
+	now := c.snapshot()
+	d := eventStats{
+		ipis: now["ipi"] - c.lastSnap["ipi"],
+		ples: now["ple"] - c.lastSnap["ple"],
+		irqs: now["virq"] - c.lastSnap["virq"],
+	}
+	c.lastSnap = now
+	return d
+}
+
+func (c *Controller) setMicro(n int) {
+	c.numMicro = c.h.SetMicroCount(n)
+	c.MicroGauge.Set(int64(c.h.Clock.Now()), float64(c.numMicro))
+}
+
+// adaptiveStep is the paper's AdaptiveMicroSlicedCores procedure: each
+// invocation inspects the urgent-event statistics gathered since the last
+// one and decides the pool size and the next timer interval.
+func (c *Controller) adaptiveStep() {
+	interval := c.cfg.ProfileInterval
+	if !c.profileMode {
+		// Initialize the profiling phases. The run-phase event history is
+		// kept: the 10 ms zero-core probe can land in a quiet window even
+		// though the epoch as a whole was busy (CheckUrgentEvents of the
+		// paper's Algorithm 1 consults the urEvents history for this).
+		c.runDelta = c.delta()
+		c.setMicro(0)
+		c.profileMode = true
+		c.h.Clock.After(interval, c.adaptiveStep)
+		return
+	}
+	// Gather the statistics of urgent events for numMicro cores.
+	cur := c.delta()
+	c.urEvents[c.numMicro] = cur
+	switch {
+	case c.numMicro == 0:
+		if cur.zero() {
+			cur = c.runDelta // fall back to the run-phase history
+		}
+		if cur.zero() {
+			// No urgent events occurred: stay at zero for an epoch.
+			c.Counters.Counter("adaptive.idle").Inc()
+			c.profileMode = false
+			interval = c.cfg.EpochInterval
+			break
+		}
+		c.setMicro(1)
+		if cur.ipis > cur.ples || cur.ipis > cur.irqs {
+			// IPI-dominant: keep profiling with growing pool sizes.
+			c.Counters.Counter("adaptive.ipi_search").Inc()
+		} else {
+			// Early termination for IRQ or PLE dominant cases: one core.
+			c.Counters.Counter("adaptive.single").Inc()
+			c.profileMode = false
+			interval = c.cfg.EpochInterval
+		}
+	case c.numMicro < c.cfg.MaxMicroCores:
+		c.setMicro(c.numMicro + 1)
+	default:
+		c.setMicro(c.findBestMicroCount())
+		c.Counters.Counter("adaptive.best_pick").Inc()
+		c.profileMode = false
+		interval = c.cfg.EpochInterval
+	}
+	c.h.Clock.After(interval, c.adaptiveStep)
+}
+
+// findBestMicroCount picks the profiled configuration (1..max) with the
+// fewest urgent events.
+func (c *Controller) findBestMicroCount() int {
+	best := 1
+	bestTotal := c.urEvents[1].total()
+	for n := 2; n <= c.cfg.MaxMicroCores; n++ {
+		if tot := c.urEvents[n].total(); tot < bestTotal {
+			best, bestTotal = n, tot
+		}
+	}
+	return best
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/microslicedcore/microsliced/internal/guest"
+	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/ksym"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+type loopProg struct{ op guest.Op }
+
+func (p *loopProg) Next(now simtime.Time) guest.Op { return p.op }
+
+// lockProg alternates a user-compute burst with a short critical section —
+// the gmake/exim kernel-interaction shape. The lock is shared between two
+// threads so contention is real but the lock is not the saturation point;
+// throughput losses then come from holder/waiter preemption, not queueing.
+type lockProg struct {
+	l     *guest.SpinLock
+	burst simtime.Duration
+	i     int
+}
+
+func (p *lockProg) Next(now simtime.Time) guest.Op {
+	p.i++
+	if p.i%2 == 1 {
+		return guest.Op{Kind: guest.OpCompute, Dur: p.burst}
+	}
+	return guest.Op{Kind: guest.OpLock, Lock: p.l, Dur: 2 * simtime.Microsecond}
+}
+
+// lockScenario builds the paper's LHP shape: a lock-intensive VM co-running
+// with a CPU-hog VM at 2:1 overcommit. Hogs start staggered so scheduling
+// phases drift.
+func lockScenario(pcpus, vcpus int) (*simtime.Clock, *hv.Hypervisor, *guest.Kernel, *guest.SpinLock) {
+	clock := simtime.NewClock()
+	cfg := hv.DefaultConfig()
+	cfg.PCPUs = pcpus
+	h := hv.New(clock, cfg)
+	k := guest.NewKernel(h, "locky", vcpus, ksym.Generate(1), guest.DefaultParams())
+	hog := guest.NewKernel(h, "hog", vcpus, ksym.Generate(2), guest.DefaultParams())
+	var locks []*guest.SpinLock
+	nlocks := (vcpus + 3) / 4
+	for i := 0; i < nlocks; i++ {
+		locks = append(locks, k.Lock(fmt.Sprintf("zone%d", i), "Page allocator", "get_page_from_freelist"))
+	}
+	for i := 0; i < vcpus; i++ {
+		k.NewThread(i, "locker", &lockProg{
+			l:     locks[i%nlocks],
+			burst: simtime.Duration(10+i) * simtime.Microsecond,
+		})
+		hog.NewThread(i, "hog", &hogProg{burst: simtime.Duration(4+i) * simtime.Millisecond})
+	}
+	for i, vc := range hog.VCPUs {
+		hvv := vc.HV()
+		clock.At(simtime.Time(1+7*i)*simtime.Millisecond, func() { h.Wake(hvv, false) })
+	}
+	return clock, h, k, locks[0]
+}
+
+func startAllKernels(h *hv.Hypervisor, ks ...*guest.Kernel) {
+	h.Start()
+	for _, k := range ks {
+		k.StartAll()
+	}
+}
+
+func runLockScenario(t *testing.T, cfg Config, dur simtime.Duration) (uint64, *Controller, *hv.Hypervisor) {
+	t.Helper()
+	clock, h, k, _ := lockScenario(12, 12)
+	c, err := Attach(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	c.Start()
+	k.StartAll() // hog vCPUs wake on their staggered timers
+	clock.RunUntil(dur)
+	var ops uint64
+	for _, th := range k.Threads() {
+		ops += th.OpsDone
+	}
+	return ops, c, h
+}
+
+func TestAttachRequiresSymbolMap(t *testing.T) {
+	clock := simtime.NewClock()
+	h := hv.New(clock, hv.DefaultConfig())
+	h.NewDomain("bare", nil)
+	if _, err := Attach(h, DefaultConfig()); err == nil {
+		t.Fatal("Attach accepted a domain without System.map")
+	}
+}
+
+func TestAttachParsesGarbageSymbolMap(t *testing.T) {
+	clock := simtime.NewClock()
+	h := hv.New(clock, hv.DefaultConfig())
+	h.NewDomain("bad", []byte("not a symbol table"))
+	if _, err := Attach(h, DefaultConfig()); err == nil {
+		t.Fatal("Attach accepted a garbage System.map")
+	}
+}
+
+func TestModeOffInstallsNoHooks(t *testing.T) {
+	clock := simtime.NewClock()
+	h := hv.New(clock, hv.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Mode = ModeOff
+	if _, err := Attach(h, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if h.Hooks.OnYield != nil || h.Hooks.OnVIRQRelay != nil || h.Hooks.OnVIPIRelay != nil {
+		t.Fatal("ModeOff installed hooks")
+	}
+}
+
+func TestStaticModeSizesPool(t *testing.T) {
+	clock := simtime.NewClock()
+	cfg := hv.DefaultConfig()
+	cfg.PCPUs = 4
+	h := hv.New(clock, cfg)
+	c, err := Attach(h, StaticConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	c.Start()
+	if c.MicroCount() != 2 {
+		t.Fatalf("micro count %d, want 2", c.MicroCount())
+	}
+}
+
+func TestLockHolderAcceleration(t *testing.T) {
+	// Baseline (no mechanism) vs one static micro core on the LHP-heavy
+	// scenario: throughput (lock acquisitions) must improve markedly.
+	off := StaticConfig(0)
+	off.Mode = ModeOff
+	base, _, hBase := runLockScenario(t, off, 2*simtime.Second)
+	accel, c, hAccel := runLockScenario(t, StaticConfig(1), 2*simtime.Second)
+	if c.Counters.Value("migrate.ok") == 0 {
+		t.Fatal("no successful migrations")
+	}
+	if accel <= base {
+		t.Fatalf("acceleration did not help: baseline %d vs accelerated %d locker ops", base, accel)
+	}
+	if hAccel.Counters.Value("yield.ple")*3 >= hBase.Counters.Value("yield.ple") {
+		t.Fatalf("PLE yields did not drop: %d -> %d",
+			hBase.Counters.Value("yield.ple"), hAccel.Counters.Value("yield.ple"))
+	}
+}
+
+func TestSymbolHitsRecorded(t *testing.T) {
+	_, c, _ := runLockScenario(t, StaticConfig(1), simtime.Second)
+	if len(c.SymbolHits) == 0 {
+		t.Fatal("no symbol hits recorded")
+	}
+	found := false
+	for name := range c.SymbolHits {
+		if name == "get_page_from_freelist" {
+			found = true
+		}
+		if ksym.Classify(name) == ksym.ClassNone {
+			t.Fatalf("non-critical symbol %q recorded", name)
+		}
+	}
+	if !found {
+		t.Fatalf("critical-section symbol missing from hits: %v", c.SymbolHits)
+	}
+}
+
+// tlbScenario: a dedup-like VM whose threads flush TLBs constantly,
+// co-running with a hog VM. Hog threads compute in long bursts with short
+// sleeps and start staggered, so the two VMs' scheduling phases drift the
+// way real co-runners do instead of ticking in lockstep.
+func tlbScenario(pcpus, vcpus int) (*simtime.Clock, *hv.Hypervisor, *guest.Kernel) {
+	clock := simtime.NewClock()
+	cfg := hv.DefaultConfig()
+	cfg.PCPUs = pcpus
+	h := hv.New(clock, cfg)
+	k := guest.NewKernel(h, "dedup", vcpus, ksym.Generate(1), guest.DefaultParams())
+	hog := guest.NewKernel(h, "hog", vcpus, ksym.Generate(2), guest.DefaultParams())
+	for i := 0; i < vcpus; i++ {
+		k.NewThread(i, "flusher", &tlbProg{burst: simtime.Duration(150+13*i) * simtime.Microsecond})
+		hog.NewThread(i, "hog", &hogProg{burst: simtime.Duration(4+i) * simtime.Millisecond})
+	}
+	for i, vc := range hog.VCPUs {
+		hvv := vc.HV()
+		clock.At(simtime.Time(1+7*i)*simtime.Millisecond, func() { h.Wake(hvv, false) })
+	}
+	return clock, h, k
+}
+
+// tlbProg alternates compute and TLB flushes (mmap/munmap shape).
+type tlbProg struct {
+	i     int
+	burst simtime.Duration
+}
+
+func (p *tlbProg) Next(now simtime.Time) guest.Op {
+	p.i++
+	if p.i%2 == 1 {
+		return guest.Op{Kind: guest.OpCompute, Dur: p.burst}
+	}
+	return guest.Op{Kind: guest.OpTLBFlush}
+}
+
+// hogProg computes in long bursts with a short sleep in between, keeping
+// co-runner scheduling phases drifting.
+type hogProg struct {
+	i     int
+	burst simtime.Duration
+}
+
+func (p *hogProg) Next(now simtime.Time) guest.Op {
+	p.i++
+	if p.i%8 == 0 {
+		return guest.Op{Kind: guest.OpSleep, Dur: 200 * simtime.Microsecond}
+	}
+	return guest.Op{Kind: guest.OpCompute, Dur: p.burst}
+}
+
+func runTLB(t *testing.T, cfg Config, dur simtime.Duration) (float64, uint64, *Controller) {
+	t.Helper()
+	clock, h, k := tlbScenario(12, 12)
+	c, err := Attach(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	c.Start()
+	k.StartAll() // hog vCPUs wake on their staggered timers
+	clock.RunUntil(dur)
+	return k.TLBStat.Mean(), k.TLBStat.Count(), c
+}
+
+func TestTLBShootdownAcceleration(t *testing.T) {
+	off := DefaultConfig()
+	off.Mode = ModeOff
+	baseMean, baseCount, _ := runTLB(t, off, 2*simtime.Second)
+	accMean, accCount, c := runTLB(t, StaticConfig(3), 2*simtime.Second)
+	if c.Counters.Value("migrate.ok") == 0 {
+		t.Fatal("no migrations for TLB case")
+	}
+	if accMean >= baseMean {
+		t.Fatalf("TLB latency did not improve: %.0fns -> %.0fns", baseMean, accMean)
+	}
+	if accCount <= baseCount {
+		t.Fatalf("shootdown throughput did not improve: %d -> %d", baseCount, accCount)
+	}
+}
+
+func TestAdaptiveSettlesOnSingleCoreForPLE(t *testing.T) {
+	clock, h, _, l := lockScenario(12, 12)
+	cfg := DefaultConfig()
+	c, err := Attach(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	c.Start()
+	for _, vc := range h.VCPUs() {
+		h.Wake(vc, false)
+	}
+	clock.RunUntil(2 * simtime.Second)
+	if c.Counters.Value("adaptive.single") == 0 {
+		t.Fatalf("PLE-dominant load never took the single-core fast path: %s", c.Counters)
+	}
+	if l.Acquisitions == 0 {
+		t.Fatal("no lock progress")
+	}
+	// Time-averaged pool size should be around 1; profiling phases and
+	// epochs that genuinely saw no urgent events dip to 0.
+	avg := c.MicroGauge.TimeAverage(int64(clock.Now()))
+	if avg < 0.3 || avg > 1.7 {
+		t.Fatalf("average micro cores %.2f, want ~1", avg)
+	}
+}
+
+func TestAdaptiveStaysAtZeroWhenIdle(t *testing.T) {
+	clock := simtime.NewClock()
+	cfg := hv.DefaultConfig()
+	cfg.PCPUs = 4
+	h := hv.New(clock, cfg)
+	k := guest.NewKernel(h, "calm", 2, ksym.Generate(1), guest.DefaultParams())
+	for i := 0; i < 2; i++ {
+		k.NewThread(i, "user", &loopProg{op: guest.Op{
+			Kind: guest.OpCompute, Dur: simtime.Millisecond,
+		}})
+	}
+	c, err := Attach(h, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	startAllKernels(h, k)
+	c.Start()
+	clock.RunUntil(3 * simtime.Second)
+	if c.MicroCount() != 0 {
+		t.Fatalf("idle system has %d micro cores", c.MicroCount())
+	}
+	if c.Counters.Value("adaptive.idle") == 0 {
+		t.Fatal("idle path never taken")
+	}
+}
+
+func TestAdaptiveIPISearchPicksBest(t *testing.T) {
+	clock, h, k := tlbScenario(6, 6)
+	cfg := DefaultConfig()
+	cfg.MaxMicroCores = 3
+	c, err := Attach(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	c.Start()
+	k.StartAll()
+	clock.RunUntil(3 * simtime.Second)
+	if c.Counters.Value("adaptive.best_pick") == 0 {
+		t.Fatalf("IPI-dominant load never completed the search: %s", c.Counters)
+	}
+	if c.MicroCount() < 1 || c.MicroCount() > 3 {
+		t.Fatalf("settled at %d micro cores", c.MicroCount())
+	}
+}
+
+func TestPreciseSelectionReducesMigrations(t *testing.T) {
+	run := func(precise bool) uint64 {
+		clock, h, _, _ := lockScenario(12, 12)
+		cfg := StaticConfig(1)
+		cfg.PreciseSelection = precise
+		c, err := Attach(h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Start()
+		c.Start()
+		for _, vc := range h.VCPUs() {
+			h.Wake(vc, false)
+		}
+		clock.RunUntil(simtime.Second)
+		return c.Counters.Value("migrate.attempt")
+	}
+	precise := run(true)
+	imprecise := run(false)
+	if precise == 0 {
+		t.Fatal("precise mode made no attempts")
+	}
+	if imprecise <= precise {
+		t.Fatalf("imprecise selection should attempt more migrations: %d vs %d", precise, imprecise)
+	}
+}
+
+func TestStartTwicePanics(t *testing.T) {
+	clock := simtime.NewClock()
+	h := hv.New(clock, hv.DefaultConfig())
+	c, err := Attach(h, StaticConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	c.Start()
+}
+
+func TestModeString(t *testing.T) {
+	for _, m := range []Mode{ModeOff, ModeStatic, ModeDynamic, Mode(9)} {
+		if m.String() == "" {
+			t.Fatal("empty mode string")
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (§3, §6) on the simulated testbed: a 12-pCPU host running the
+// credit scheduler, consolidating 12-vCPU VMs at a 2:1 ratio, with the
+// micro-sliced-core mechanism off (Baseline), statically sized (Static
+// 1..6), or adaptive (Dynamic, Algorithm 1).
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/microslicedcore/microsliced/internal/core"
+	"github.com/microslicedcore/microsliced/internal/guest"
+	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/ksym"
+	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+	"github.com/microslicedcore/microsliced/internal/vdisk"
+	"github.com/microslicedcore/microsliced/internal/workload"
+)
+
+// Defaults matching the paper's testbed (§6.1).
+const (
+	DefaultPCPUs    = 12
+	DefaultVCPUs    = 12
+	DefaultDuration = 3 * simtime.Second
+)
+
+// VMSpec describes one consolidated virtual machine.
+type VMSpec struct {
+	Name  string
+	App   string // workload catalog name
+	VCPUs int
+	Seed  uint64
+	// Disk attaches a virtual block device (required by storage-bound
+	// workloads such as "fileserver").
+	Disk bool
+}
+
+// Setup is a complete scenario.
+type Setup struct {
+	PCPUs    int
+	VMs      []VMSpec
+	Core     core.Config
+	Duration simtime.Duration
+	// StaggerStart delays VM i's start by i*7ms, letting co-runner
+	// scheduling phases drift as they do on real hardware.
+	StaggerStart bool
+	// HVConfig, when non-nil, overrides the hypervisor configuration
+	// (ablation studies: slice lengths, runqueue limits, migrate-back).
+	HVConfig *hv.Config
+	// Rival, when set, installs a prior-work system (internal/rivals) in
+	// place of the paper's mechanism; Core should be ModeOff.
+	Rival Rival
+}
+
+// VMResult carries one VM's measurements.
+type VMResult struct {
+	Name     string
+	App      string
+	Units    uint64
+	Yields   YieldBreakdown
+	TLB      *metrics.Histogram
+	LockStat map[string]*metrics.Histogram
+	RanTotal simtime.Duration
+}
+
+// YieldBreakdown decomposes yields by source (paper Figure 7).
+type YieldBreakdown struct {
+	IPI   uint64
+	PLE   uint64
+	Halt  uint64
+	Other uint64
+}
+
+// Total sums all yield sources.
+func (y YieldBreakdown) Total() uint64 { return y.IPI + y.PLE + y.Halt + y.Other }
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	VMs        []VMResult
+	HV         map[string]uint64
+	Core       map[string]uint64
+	SymbolHits map[string]uint64
+	MicroAvg   float64
+	Duration   simtime.Duration
+}
+
+// VM returns the result of the named VM.
+func (r *Result) VM(name string) *VMResult {
+	for i := range r.VMs {
+		if r.VMs[i].Name == name {
+			return &r.VMs[i]
+		}
+	}
+	return nil
+}
+
+// Run executes a scenario to completion and collects the measurements.
+func Run(s Setup) (*Result, error) {
+	if s.PCPUs == 0 {
+		s.PCPUs = DefaultPCPUs
+	}
+	if s.Duration == 0 {
+		s.Duration = DefaultDuration
+	}
+	clock := simtime.NewClock()
+	cfg := hv.DefaultConfig()
+	if s.HVConfig != nil {
+		cfg = *s.HVConfig
+	}
+	cfg.PCPUs = s.PCPUs
+	h := hv.New(clock, cfg)
+
+	kernels := make([]*guest.Kernel, len(s.VMs))
+	apps := make([]*workload.App, len(s.VMs))
+	for i, vm := range s.VMs {
+		n := vm.VCPUs
+		if n == 0 {
+			n = DefaultVCPUs
+		}
+		kernels[i] = guest.NewKernel(h, vm.Name, n, ksym.Generate(1000+uint64(i)), guest.DefaultParams())
+		if vm.Disk || workload.NeedsDisk(vm.App) {
+			kernels[i].AttachDisk(vdisk.New(clock, 5000+vm.Seed))
+		}
+		app, err := workload.New(vm.App, kernels[i], vm.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: VM %s: %v", vm.Name, err)
+		}
+		apps[i] = app
+	}
+	ctrl, err := core.Attach(h, s.Core)
+	if err != nil {
+		return nil, err
+	}
+	var rivalStart func()
+	if s.Rival != RivalNone {
+		rivalStart, err = attachRival(h, s.Rival)
+		if err != nil {
+			return nil, err
+		}
+	}
+	h.Start()
+	ctrl.Start()
+	if rivalStart != nil {
+		rivalStart()
+	}
+	for i, k := range kernels {
+		if s.StaggerStart && i > 0 {
+			k := k
+			clock.At(simtime.Time(i)*7*simtime.Millisecond, k.StartAll)
+		} else {
+			k.StartAll()
+		}
+	}
+	clock.RunUntil(s.Duration)
+	return collect(s, h, ctrl, kernels, apps), nil
+}
+
+func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.Kernel, apps []*workload.App) *Result {
+	res := &Result{
+		HV:         h.Counters.Snapshot(),
+		Core:       ctrl.Counters.Snapshot(),
+		SymbolHits: ctrl.SymbolHits,
+		MicroAvg:   ctrl.MicroGauge.TimeAverage(int64(h.Clock.Now())),
+		Duration:   s.Duration,
+	}
+	for i, k := range kernels {
+		d := k.Dom
+		var ran simtime.Duration
+		for _, v := range d.VCPUs {
+			ran += v.RanTotal()
+		}
+		res.VMs = append(res.VMs, VMResult{
+			Name:  s.VMs[i].Name,
+			App:   s.VMs[i].App,
+			Units: apps[i].Units(),
+			Yields: YieldBreakdown{
+				IPI:   d.Counters.Value("yield.ipi"),
+				PLE:   d.Counters.Value("yield.ple"),
+				Halt:  d.Counters.Value("yield.halt"),
+				Other: d.Counters.Value("yield.other"),
+			},
+			TLB:      k.TLBStat,
+			LockStat: k.LockStat,
+			RanTotal: ran,
+		})
+	}
+	return res
+}
+
+// offConfig is the vanilla-Xen baseline.
+func offConfig() core.Config {
+	c := core.DefaultConfig()
+	c.Mode = core.ModeOff
+	return c
+}
+
+// soloSetup runs one VM alone on the host.
+func soloSetup(app string, dur simtime.Duration) Setup {
+	return Setup{
+		VMs:      []VMSpec{{Name: app, App: app, Seed: 11}},
+		Core:     offConfig(),
+		Duration: dur,
+	}
+}
+
+// corunSetup consolidates the target VM with a swaptions VM at 2:1.
+func corunSetup(app string, cc core.Config, dur simtime.Duration) Setup {
+	return Setup{
+		VMs: []VMSpec{
+			{Name: app, App: app, Seed: 11},
+			{Name: "swaptions", App: "swaptions", Seed: 22},
+		},
+		Core:         cc,
+		Duration:     dur,
+		StaggerStart: true,
+	}
+}

@@ -1,0 +1,487 @@
+// Package hv implements the hypervisor model: physical CPUs, domains,
+// virtual CPUs, the Xen credit1 scheduler (30 ms slice, 10 ms tick,
+// BOOST/UNDER/OVER priorities, work-conserving stealing), cpupools with
+// per-pool time slices, pause-loop-exit and voluntary yield handling, and
+// virtual IPI/IRQ relay with pending-interrupt queues.
+//
+// The virtual-time-discontinuity problem the paper studies arises here
+// naturally: a vCPU that is Runnable-but-not-Running cannot process its
+// pending interrupts or finish its critical section until the scheduler
+// dispatches it again.
+//
+// The micro-sliced-core mechanism (internal/core) attaches through Hooks
+// and the pool-migration API; hv itself is a faithful "vanilla Xen"
+// baseline when no hooks are installed.
+package hv
+
+import (
+	"fmt"
+
+	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+	"github.com/microslicedcore/microsliced/internal/trace"
+)
+
+// Config holds the machine and scheduler parameters.
+type Config struct {
+	PCPUs int // number of physical CPUs
+
+	NormalSlice  simtime.Duration // scheduling quantum of the normal pool (Xen default 30ms)
+	MicroSlice   simtime.Duration // quantum of the micro-sliced pool (paper: 0.1ms)
+	Tick         simtime.Duration // credit debit tick (Xen: 10ms)
+	TicksPerAcct int              // accounting every N ticks (Xen: 3)
+
+	CreditDebitPerTick int // credits debited from a running vCPU per tick (Xen: 100)
+	CreditCap          int // upper clamp on a vCPU's credits (Xen: credits per timeslice, 300)
+	CreditFloor        int // lower clamp
+
+	CtxSwitchCost simtime.Duration // direct context-switch overhead
+	ColdCacheCost simtime.Duration // cache-refill penalty when a pCPU switches vCPUs
+	IPILatency    simtime.Duration // hypervisor vIPI/vIRQ injection latency
+	PIRQCost      simtime.Duration // hypervisor physical-IRQ handling cost
+
+	BoostEnabled    bool // Xen's BOOST-on-wake optimization
+	MicroRunqLimit  int  // max queued vCPUs per micro pCPU (paper: 1)
+	MicroReturnHome bool // vCPUs go home after one micro slice (paper: true)
+
+	TraceCapacity int // ring size of the trace buffer (0: counters only)
+}
+
+// DefaultConfig returns the paper's experimental configuration: a 12-thread
+// host running the Xen 4.7 credit scheduler.
+func DefaultConfig() Config {
+	return Config{
+		PCPUs:              12,
+		NormalSlice:        30 * simtime.Millisecond,
+		MicroSlice:         100 * simtime.Microsecond,
+		Tick:               10 * simtime.Millisecond,
+		TicksPerAcct:       3,
+		CreditDebitPerTick: 100,
+		CreditCap:          300,
+		CreditFloor:        -1000,
+		CtxSwitchCost:      1500 * simtime.Nanosecond,
+		ColdCacheCost:      15 * simtime.Microsecond,
+		IPILatency:         500 * simtime.Nanosecond,
+		PIRQCost:           800 * simtime.Nanosecond,
+		BoostEnabled:       true,
+		MicroRunqLimit:     1,
+		MicroReturnHome:    true,
+		TraceCapacity:      0,
+	}
+}
+
+// Priority is a credit1 scheduling priority; lower values run first.
+type Priority int8
+
+// Credit1 priorities.
+const (
+	PrioBoost Priority = iota // woken from blocked, runs next
+	PrioUnder                 // positive credits
+	PrioOver                  // exhausted credits
+	PrioIdle                  // placeholder for "no candidate"
+)
+
+// String names the priority.
+func (p Priority) String() string {
+	switch p {
+	case PrioBoost:
+		return "BOOST"
+	case PrioUnder:
+		return "UNDER"
+	case PrioOver:
+		return "OVER"
+	default:
+		return "IDLE"
+	}
+}
+
+// VCPUState is the scheduling state of a virtual CPU.
+type VCPUState uint8
+
+// vCPU states.
+const (
+	StateBlocked  VCPUState = iota // halted, waiting for an event
+	StateRunnable                  // on a runqueue, waiting for a pCPU
+	StateRunning                   // executing on a pCPU
+)
+
+// String names the state.
+func (s VCPUState) String() string {
+	switch s {
+	case StateBlocked:
+		return "blocked"
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// YieldReason explains why a running vCPU gave up its pCPU.
+type YieldReason uint8
+
+// Yield reasons, matching the decomposition of the paper's Figure 7.
+const (
+	YieldPLE     YieldReason = iota // pause-loop exit while spinning on a lock
+	YieldIPIWait                    // voluntary yield while waiting for IPI acks
+	YieldHalt                       // guest idled (SCHEDOP_block)
+	YieldOther                      // any other voluntary yield
+)
+
+// String names the reason.
+func (r YieldReason) String() string {
+	switch r {
+	case YieldPLE:
+		return "ple"
+	case YieldIPIWait:
+		return "ipi"
+	case YieldHalt:
+		return "halt"
+	default:
+		return "other"
+	}
+}
+
+// Vector identifies a virtual interrupt.
+type Vector uint8
+
+// Interrupt vectors used by the guest model.
+const (
+	VecResched  Vector = iota // scheduler wakeup IPI
+	VecCallFunc               // smp_call_function (TLB shootdown) IPI
+	VecNet                    // network device IRQ
+	VecTimer                  // guest timer
+	VecDisk                   // block-device completion IRQ
+)
+
+// String names the vector.
+func (v Vector) String() string {
+	switch v {
+	case VecResched:
+		return "resched"
+	case VecCallFunc:
+		return "callfunc"
+	case VecNet:
+		return "net"
+	case VecTimer:
+		return "timer"
+	case VecDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("vec(%d)", uint8(v))
+	}
+}
+
+// GuestContext is the hypervisor's view of what runs inside a vCPU. The
+// guest package implements it. The hypervisor may additionally read the
+// vCPU's instruction pointer through RIP — and nothing else, preserving the
+// paper's guest-transparency property.
+type GuestContext interface {
+	// OnScheduled is invoked when the vCPU starts executing on a pCPU
+	// (after any context-switch cost has elapsed).
+	OnScheduled(now simtime.Time)
+	// OnDescheduled is invoked when the vCPU stops executing. The guest
+	// must checkpoint all in-progress work.
+	OnDescheduled(now simtime.Time)
+	// OnInterrupt delivers a virtual interrupt while the vCPU is running.
+	OnInterrupt(now simtime.Time, vec Vector, data uint64)
+	// RIP returns the guest instruction pointer (valid at any time).
+	RIP() uint64
+}
+
+// PendingIRQ is an interrupt waiting for its target vCPU to be dispatched.
+type PendingIRQ struct {
+	Vec  Vector
+	Data uint64
+}
+
+// VCPU is a virtual CPU.
+type VCPU struct {
+	ID    int // global vCPU index
+	DomID int // owning domain
+	Idx   int // index within the domain
+	Dom   *Domain
+	Guest GuestContext
+
+	state    VCPUState
+	prio     Priority
+	boosted  bool
+	credits  int
+	pool     *Pool
+	homePool *Pool
+	pcpu     *PCPU // non-nil while Running
+	queuedOn *PCPU // non-nil while Runnable on a runqueue
+	lastPCPU int   // affinity hint
+	pin      int   // pinned pCPU id, -1 if unpinned
+
+	pending []PendingIRQ
+
+	warmupEv     *simtime.Event
+	runningSince simtime.Time
+	ranTotal     simtime.Duration
+	microVisits  uint64
+
+	burnAt simtime.Time // start of the current credit-burn window
+	debtNs int64        // sub-credit runtime carried to the next burn
+
+	sliceOverride simtime.Duration // per-vCPU quantum (0: pool default)
+	yieldsBy      [4]uint64        // per-vCPU yield counts by reason
+	virqRecv      uint64           // device IRQs routed to this vCPU
+}
+
+// State returns the scheduling state.
+func (v *VCPU) State() VCPUState { return v.state }
+
+// Priority returns the current scheduling priority.
+func (v *VCPU) Priority() Priority { return v.prio }
+
+// Credits returns the current credit balance.
+func (v *VCPU) Credits() int { return v.credits }
+
+// OnMicro reports whether the vCPU currently belongs to the micro pool.
+func (v *VCPU) OnMicro() bool { return v.pool != v.homePool }
+
+// Pin restricts the vCPU to one pCPU of its home pool (-1 unpins).
+func (v *VCPU) Pin(pcpu int) { v.pin = pcpu }
+
+// RanTotal returns the accumulated execution time (updated on deschedule).
+func (v *VCPU) RanTotal() simtime.Duration { return v.ranTotal }
+
+// MicroVisits returns how many times this vCPU was migrated to the micro pool.
+func (v *VCPU) MicroVisits() uint64 { return v.microVisits }
+
+// PendingCount returns the number of undelivered interrupts.
+func (v *VCPU) PendingCount() int { return len(v.pending) }
+
+// SetSliceOverride gives the vCPU its own scheduling quantum regardless of
+// its pool (0 restores the pool default). Prior-work schedulers that pick
+// per-vCPU time slices (vTRS, vSlicer) are modelled with this.
+func (v *VCPU) SetSliceOverride(d simtime.Duration) { v.sliceOverride = d }
+
+// SliceOverride returns the per-vCPU quantum (0 when the pool's applies).
+func (v *VCPU) SliceOverride() simtime.Duration { return v.sliceOverride }
+
+// YieldsBy returns this vCPU's yield count for one reason.
+func (v *VCPU) YieldsBy(r YieldReason) uint64 {
+	if int(r) < len(v.yieldsBy) {
+		return v.yieldsBy[r]
+	}
+	return 0
+}
+
+// VIRQReceived returns how many device IRQs were routed to this vCPU.
+func (v *VCPU) VIRQReceived() uint64 { return v.virqRecv }
+
+func (v *VCPU) String() string {
+	return fmt.Sprintf("d%dv%d(%s,%s)", v.DomID, v.Idx, v.state, v.prio)
+}
+
+// DefaultWeight is credit1's default domain weight.
+const DefaultWeight = 256
+
+// Domain is a virtual machine.
+type Domain struct {
+	ID       int
+	Name     string
+	VCPUs    []*VCPU
+	IRQVCPU  int // designated vCPU for device IRQs
+	Weight   int // credit1 proportional-share weight (DefaultWeight if unset)
+	Counters *metrics.Set
+
+	// SymbolMap is the System.map blob the guest "provides" to the
+	// hypervisor (paper §4.4). The detector parses it; the hypervisor
+	// proper never looks inside.
+	SymbolMap []byte
+}
+
+// PCPU is a physical CPU.
+type PCPU struct {
+	ID   int
+	pool *Pool
+
+	cur     *VCPU
+	lastRan *VCPU
+	runq    []*VCPU // priority-sorted, stable within a class
+
+	sliceEv *simtime.Event
+	busy    simtime.Duration
+}
+
+// Current returns the vCPU running on this pCPU (nil when idle).
+func (p *PCPU) Current() *VCPU { return p.cur }
+
+// QueueLen returns the runqueue length.
+func (p *PCPU) QueueLen() int { return len(p.runq) }
+
+// Busy returns accumulated non-idle time.
+func (p *PCPU) Busy() simtime.Duration { return p.busy }
+
+// Pool returns the cpupool this pCPU currently belongs to.
+func (p *PCPU) Pool() *Pool { return p.pool }
+
+// Pool is a cpupool: a set of pCPUs sharing a time slice and scheduling
+// policy flags (Xen's cpupool mechanism, extended per the paper §5).
+type Pool struct {
+	Name       string
+	Slice      simtime.Duration
+	RunqLimit  int  // 0: unlimited
+	ReturnHome bool // vCPUs migrate back to their home pool after one slice
+	NoBoost    bool // wakeups in this pool never boost
+	NoSteal    bool // pCPUs in this pool never steal work
+	NoPreempt  bool // running vCPUs finish their slice (no tickle preemption)
+
+	pcpus []*PCPU
+}
+
+// PCPUs returns the pool's current pCPUs.
+func (pl *Pool) PCPUs() []*PCPU { return pl.pcpus }
+
+// Size returns the number of pCPUs in the pool.
+func (pl *Pool) Size() int { return len(pl.pcpus) }
+
+// Hooks are the attachment points for the micro-sliced-core mechanism.
+// All hooks may be nil (vanilla Xen behaviour).
+type Hooks struct {
+	// OnYield fires after a vCPU yields (and has been re-queued), before
+	// the pCPU reschedules. The hook may migrate vCPUs between pools.
+	OnYield func(v *VCPU, reason YieldReason)
+	// OnVIRQRelay fires when the hypervisor relays a device IRQ to a vCPU.
+	OnVIRQRelay func(target *VCPU)
+	// OnVIPIRelay fires when the hypervisor relays a guest IPI.
+	OnVIPIRelay func(src, target *VCPU, vec Vector)
+}
+
+// Hypervisor ties the machine together.
+type Hypervisor struct {
+	Clock    *simtime.Clock
+	Cfg      Config
+	Counters *metrics.Set
+	Trace    *trace.Buffer
+	Hooks    Hooks
+
+	normal  *Pool
+	micro   *Pool
+	pcpus   []*PCPU
+	domains []*Domain
+	vcpus   []*VCPU
+
+	started bool
+}
+
+// New constructs a hypervisor. All pCPUs start in the normal pool; the
+// micro pool starts empty and is grown via GrowMicro (adaptive mode) or
+// SetMicroCount (static mode).
+func New(clock *simtime.Clock, cfg Config) *Hypervisor {
+	if cfg.PCPUs <= 0 {
+		panic("hv: need at least one pCPU")
+	}
+	h := &Hypervisor{
+		Clock:    clock,
+		Cfg:      cfg,
+		Counters: metrics.NewSet(),
+		Trace:    trace.NewBuffer(cfg.TraceCapacity),
+	}
+	h.normal = &Pool{Name: "normal", Slice: cfg.NormalSlice}
+	h.micro = &Pool{
+		Name:       "micro",
+		Slice:      cfg.MicroSlice,
+		RunqLimit:  cfg.MicroRunqLimit,
+		ReturnHome: cfg.MicroReturnHome,
+		NoBoost:    true,
+		NoSteal:    true,
+		NoPreempt:  true, // urgent tasks complete without interruption (§5)
+	}
+	for i := 0; i < cfg.PCPUs; i++ {
+		p := &PCPU{ID: i, pool: h.normal}
+		h.pcpus = append(h.pcpus, p)
+		h.normal.pcpus = append(h.normal.pcpus, p)
+	}
+	return h
+}
+
+// NormalPool returns the normal cpupool.
+func (h *Hypervisor) NormalPool() *Pool { return h.normal }
+
+// MicroPool returns the micro-sliced cpupool.
+func (h *Hypervisor) MicroPool() *Pool { return h.micro }
+
+// MicroCount returns the number of pCPUs currently in the micro pool.
+func (h *Hypervisor) MicroCount() int { return len(h.micro.pcpus) }
+
+// Domains returns the created domains.
+func (h *Hypervisor) Domains() []*Domain { return h.domains }
+
+// VCPUs returns all vCPUs across domains.
+func (h *Hypervisor) VCPUs() []*VCPU { return h.vcpus }
+
+// PCPU returns pCPU i.
+func (h *Hypervisor) PCPU(i int) *PCPU { return h.pcpus[i] }
+
+// NewDomain creates a domain.
+func (h *Hypervisor) NewDomain(name string, symbolMap []byte) *Domain {
+	d := &Domain{
+		ID:        len(h.domains),
+		Name:      name,
+		Weight:    DefaultWeight,
+		Counters:  metrics.NewSet(),
+		SymbolMap: symbolMap,
+	}
+	h.domains = append(h.domains, d)
+	return d
+}
+
+// AddVCPU attaches a guest context as a new vCPU of domain d. The vCPU
+// starts Blocked; wake it with Wake once the guest has work.
+func (h *Hypervisor) AddVCPU(d *Domain, g GuestContext) *VCPU {
+	v := &VCPU{
+		ID:       len(h.vcpus),
+		DomID:    d.ID,
+		Idx:      len(d.VCPUs),
+		Dom:      d,
+		Guest:    g,
+		state:    StateBlocked,
+		prio:     PrioUnder,
+		credits:  h.Cfg.CreditCap,
+		pool:     h.normal,
+		homePool: h.normal,
+		lastPCPU: len(h.vcpus) % len(h.pcpus),
+		pin:      -1,
+	}
+	d.VCPUs = append(d.VCPUs, v)
+	h.vcpus = append(h.vcpus, v)
+	return v
+}
+
+// Start launches the periodic scheduler tick. Call once, before running
+// the clock.
+func (h *Hypervisor) Start() {
+	if h.started {
+		panic("hv: Start called twice")
+	}
+	h.started = true
+	n := simtime.Duration(len(h.pcpus))
+	for i, p := range h.pcpus {
+		p := p
+		offset := h.Cfg.Tick * simtime.Duration(i+1) / n
+		h.Clock.After(offset, func() { h.pcpuTick(p) })
+	}
+	h.Clock.After(h.Cfg.Tick*simtime.Duration(h.Cfg.TicksPerAcct), h.acctTick)
+}
+
+func (h *Hypervisor) count(name string) { h.Counters.Counter(name).Inc() }
+
+func (h *Hypervisor) emit(k trace.Kind, v *VCPU, arg0, arg1 uint64) {
+	r := trace.Record{Time: h.Clock.Now(), Kind: k, Arg0: arg0, Arg1: arg1}
+	if v != nil {
+		r.Dom = int16(v.DomID)
+		r.VCPU = int16(v.Idx)
+		if v.pcpu != nil {
+			r.PCPU = int16(v.pcpu.ID)
+		} else {
+			r.PCPU = -1
+		}
+	}
+	h.Trace.Emit(r)
+}

@@ -1,0 +1,119 @@
+package hv
+
+import (
+	"fmt"
+
+	"github.com/microslicedcore/microsliced/internal/trace"
+)
+
+// SendVIPI relays a virtual inter-processor interrupt from one vCPU of a
+// domain to a sibling. Delivery semantics are the crux of the
+// virtual-time-discontinuity problem:
+//
+//   - target Running:  injected after the IPI latency;
+//   - target Blocked:  queued and the vCPU is woken (BOOST-eligible);
+//   - target Runnable: queued — and *not* boosted, because Xen only boosts
+//     wakeups of blocked vCPUs. The IPI waits for the target's next
+//     scheduling turn, which under a 30 ms slice can be tens of ms away.
+func (h *Hypervisor) SendVIPI(src, dst *VCPU, vec Vector, data uint64) {
+	if src.Dom != dst.Dom {
+		panic(fmt.Sprintf("hv: cross-domain IPI %v -> %v", src, dst))
+	}
+	h.count("vipi.sent")
+	src.Dom.Counters.Counter("vipi.sent").Inc()
+	h.emit(trace.KindVIPI, src, uint64(vec), uint64(dst.Idx))
+	if h.Hooks.OnVIPIRelay != nil {
+		h.Hooks.OnVIPIRelay(src, dst, vec)
+	}
+	h.deliver(dst, vec, data)
+}
+
+// InjectPIRQ is called by device models (internal/vnet) when a physical
+// interrupt arrives. The hypervisor spends PIRQCost handling the VMEXIT and
+// then forwards a virtual IRQ to the domain's designated IRQ vCPU.
+func (h *Hypervisor) InjectPIRQ(d *Domain, vec Vector, data uint64) {
+	h.count("pirq")
+	h.emit(trace.KindPIRQ, nil, uint64(vec), uint64(d.ID))
+	h.Clock.AfterLabeled(h.Cfg.PIRQCost, "pirq", func() {
+		if d.IRQVCPU < 0 || d.IRQVCPU >= len(d.VCPUs) {
+			panic(fmt.Sprintf("hv: domain %s has bad IRQ vCPU %d", d.Name, d.IRQVCPU))
+		}
+		target := d.VCPUs[d.IRQVCPU]
+		target.virqRecv++
+		h.count("virq.sent")
+		d.Counters.Counter("virq.sent").Inc()
+		h.emit(trace.KindVIRQ, target, uint64(vec), 0)
+		if h.Hooks.OnVIRQRelay != nil {
+			h.Hooks.OnVIRQRelay(target)
+		}
+		h.deliver(target, vec, data)
+	})
+}
+
+// InjectPIRQTo routes a device interrupt to a specific vCPU — per-queue
+// MSI-X semantics (e.g. an NVMe completion queue bound to the submitting
+// CPU) — applying the same hypervisor handling cost and relay hook as
+// InjectPIRQ.
+func (h *Hypervisor) InjectPIRQTo(target *VCPU, vec Vector, data uint64) {
+	h.count("pirq")
+	h.emit(trace.KindPIRQ, target, uint64(vec), uint64(target.DomID))
+	h.Clock.AfterLabeled(h.Cfg.PIRQCost, "pirq", func() {
+		target.virqRecv++
+		h.count("virq.sent")
+		target.Dom.Counters.Counter("virq.sent").Inc()
+		h.emit(trace.KindVIRQ, target, uint64(vec), 0)
+		if h.Hooks.OnVIRQRelay != nil {
+			h.Hooks.OnVIRQRelay(target)
+		}
+		h.deliver(target, vec, data)
+	})
+}
+
+// deliver routes an interrupt to dst according to its scheduling state.
+func (h *Hypervisor) deliver(dst *VCPU, vec Vector, data uint64) {
+	switch dst.state {
+	case StateRunning:
+		h.Clock.AfterLabeled(h.Cfg.IPILatency, "inject", func() {
+			h.injectOrQueue(dst, vec, data)
+		})
+	case StateBlocked:
+		dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data})
+		h.Wake(dst, true)
+	case StateRunnable:
+		// The VTD case: the interrupt sits until the next scheduling turn.
+		dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data})
+		h.count("irq.deferred")
+		dst.Dom.Counters.Counter("irq.deferred").Inc()
+	}
+}
+
+// injectOrQueue fires OnInterrupt if dst is still running with the guest
+// active, otherwise queues (the state may have changed during the
+// injection latency).
+func (h *Hypervisor) injectOrQueue(dst *VCPU, vec Vector, data uint64) {
+	if dst.state == StateRunning && dst.warmupEv == nil {
+		dst.Guest.OnInterrupt(h.Clock.Now(), vec, data)
+		return
+	}
+	dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data})
+	if dst.state == StateBlocked {
+		h.Wake(dst, true)
+	}
+}
+
+// drainPending delivers queued interrupts to a vCPU that just started
+// running. Each OnInterrupt may change guest state; delivery stops if the
+// guest yields or blocks mid-drain.
+func (h *Hypervisor) drainPending(v *VCPU) {
+	for len(v.pending) > 0 && v.state == StateRunning {
+		irq := v.pending[0]
+		v.pending = v.pending[1:]
+		v.Guest.OnInterrupt(h.Clock.Now(), irq.Vec, irq.Data)
+	}
+}
+
+// DeliverLocal queues an interrupt directly to a vCPU, bypassing domain
+// routing. The guest model uses it for per-vCPU timer interrupts.
+func (h *Hypervisor) DeliverLocal(dst *VCPU, vec Vector, data uint64) {
+	h.deliver(dst, vec, data)
+}

@@ -1,0 +1,268 @@
+package hv
+
+import (
+	"fmt"
+
+	"github.com/microslicedcore/microsliced/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// vCPU migration between pools
+// ---------------------------------------------------------------------------
+
+// MigrateToMicro moves a preempted (Runnable) or halted (Blocked) vCPU into
+// the micro-sliced pool so its critical OS service completes within a
+// 0.1 ms turnaround. A Running vCPU needs no acceleration and is refused.
+// The move also fails when the micro pool is empty or every micro pCPU is
+// at its runqueue limit (the paper's stacking guard, §5).
+func (h *Hypervisor) MigrateToMicro(v *VCPU) bool {
+	if len(h.micro.pcpus) == 0 {
+		return false
+	}
+	if v.pool == h.micro {
+		return false // already being accelerated
+	}
+	if v.state == StateRunning {
+		return false
+	}
+	// Find capacity first so failure leaves the vCPU untouched.
+	var idle, queued *PCPU
+	for _, p := range h.micro.pcpus {
+		if p.cur == nil && len(p.runq) == 0 {
+			idle = p
+			break
+		}
+		if h.micro.RunqLimit == 0 || len(p.runq) < h.micro.RunqLimit {
+			if queued == nil {
+				queued = p
+			}
+		}
+	}
+	if idle == nil && queued == nil {
+		h.count("migrate.micro_full")
+		return false
+	}
+	if v.state == StateRunnable {
+		h.dequeue(v)
+	}
+	v.state = StateRunnable
+	v.pool = h.micro
+	v.microVisits++
+	h.count("migrate.micro")
+	v.Dom.Counters.Counter("migrate.micro").Inc()
+	h.emit(trace.KindMigrate, v, 0, 0)
+	if idle != nil {
+		h.dispatch(idle, v)
+	} else {
+		h.enqueue(queued, v)
+	}
+	return true
+}
+
+// migrateHome returns a runnable vCPU from the micro pool to its home pool.
+func (h *Hypervisor) migrateHome(v *VCPU) {
+	if v.state != StateRunnable || v.queuedOn != nil {
+		panic(fmt.Sprintf("hv: migrateHome of %v", v))
+	}
+	v.pool = v.homePool
+	h.count("migrate.home")
+	h.emit(trace.KindMigrate, v, 1, 0)
+	p := h.homePCPU(v)
+	h.enqueue(p, v)
+	h.tickle(p)
+}
+
+// RePin changes a vCPU's pinning at runtime (rival schedulers repartition
+// pCPUs per class). A queued vCPU moves to a compatible runqueue at once;
+// a running vCPU finishes its slice first (requeuePreempted then places
+// it correctly).
+func (h *Hypervisor) RePin(v *VCPU, pcpu int) {
+	v.pin = pcpu
+	if v.state == StateRunnable && v.queuedOn != nil && !v.canRunOn(v.queuedOn) {
+		h.dequeue(v)
+		q := h.homePCPU(v)
+		h.enqueue(q, v)
+		h.tickle(q)
+	}
+}
+
+// ForceDispatch preempts whatever runs on p and dispatches v there — the
+// primitive behind gang (co-)scheduling rivals. v must be Runnable and
+// placeable on p; returns false otherwise (v already running on p counts
+// as success).
+func (h *Hypervisor) ForceDispatch(p *PCPU, v *VCPU) bool {
+	if p.cur == v {
+		return true
+	}
+	if v.state != StateRunnable || !v.canRunOn(p) {
+		return false
+	}
+	if p.cur != nil {
+		cur := p.cur
+		h.count("sched.force_preempt")
+		h.descheduleCurrent(p)
+		cur.state = StateRunnable
+		h.requeuePreempted(p, cur)
+	}
+	h.dequeue(v)
+	h.dispatch(p, v)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Pool resizing
+// ---------------------------------------------------------------------------
+
+// GrowMicro moves one pCPU from the normal pool to the micro pool,
+// redistributing its queued vCPUs. At least one normal pCPU always remains.
+// Returns false when the normal pool cannot shrink further.
+func (h *Hypervisor) GrowMicro() bool {
+	if len(h.normal.pcpus) <= 1 {
+		return false
+	}
+	// Take the highest-numbered normal pCPU without pinned load.
+	var p *PCPU
+	for i := len(h.normal.pcpus) - 1; i >= 0; i-- {
+		cand := h.normal.pcpus[i]
+		if !h.hasPinnedLoad(cand) {
+			p = cand
+			break
+		}
+	}
+	if p == nil {
+		return false
+	}
+	// Preempt whatever is running.
+	if p.cur != nil {
+		cur := p.cur
+		h.descheduleCurrent(p)
+		cur.state = StateRunnable
+		h.requeueElsewhere(cur, p)
+	}
+	// Drain the runqueue.
+	for len(p.runq) > 0 {
+		v := p.runq[0]
+		h.dequeue(v)
+		h.requeueElsewhere(v, p)
+	}
+	h.removePCPU(h.normal, p)
+	p.pool = h.micro
+	p.lastRan = nil
+	h.micro.pcpus = append(h.micro.pcpus, p)
+	h.count("pool.grow")
+	h.emit(trace.KindPoolResize, nil, uint64(len(h.micro.pcpus)), 0)
+	return true
+}
+
+// ShrinkMicro returns the most recently added micro pCPU to the normal
+// pool. Micro-resident vCPUs on it migrate home first. Returns false when
+// the micro pool is empty.
+func (h *Hypervisor) ShrinkMicro() bool {
+	n := len(h.micro.pcpus)
+	if n == 0 {
+		return false
+	}
+	p := h.micro.pcpus[n-1]
+	if p.cur != nil {
+		cur := p.cur
+		h.descheduleCurrent(p)
+		cur.state = StateRunnable
+		cur.pool = cur.homePool
+		h.count("migrate.home")
+		q := h.homePCPU(cur)
+		h.enqueue(q, cur)
+		h.tickle(q)
+	}
+	for len(p.runq) > 0 {
+		v := p.runq[0]
+		h.dequeue(v)
+		v.pool = v.homePool
+		h.count("migrate.home")
+		q := h.homePCPU(v)
+		h.enqueue(q, v)
+		h.tickle(q)
+	}
+	h.micro.pcpus = h.micro.pcpus[:n-1]
+	p.pool = h.normal
+	p.lastRan = nil
+	h.normal.pcpus = append(h.normal.pcpus, p)
+	h.count("pool.shrink")
+	h.emit(trace.KindPoolResize, nil, uint64(len(h.micro.pcpus)), 0)
+	// The pCPU can immediately pick up normal work.
+	h.schedule(p)
+	return true
+}
+
+// SetMicroCount grows or shrinks the micro pool to exactly n pCPUs (static
+// / manual mode, paper §4.3). It returns the achieved size.
+func (h *Hypervisor) SetMicroCount(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	for len(h.micro.pcpus) < n {
+		if !h.GrowMicro() {
+			break
+		}
+	}
+	for len(h.micro.pcpus) > n {
+		if !h.ShrinkMicro() {
+			break
+		}
+	}
+	return len(h.micro.pcpus)
+}
+
+func (h *Hypervisor) hasPinnedLoad(p *PCPU) bool {
+	if p.cur != nil && p.cur.pin == p.ID {
+		return true
+	}
+	for _, v := range p.runq {
+		if v.pin == p.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// requeueElsewhere places a runnable vCPU on another pCPU of its pool
+// (used while draining a pCPU that is leaving the pool).
+func (h *Hypervisor) requeueElsewhere(v *VCPU, excluding *PCPU) {
+	pool := v.pool
+	var best *PCPU
+	bestLoad := 0
+	for _, q := range pool.pcpus {
+		if q == excluding || !v.canRunOn(q) {
+			continue
+		}
+		if best == nil || loadOf(q) < bestLoad {
+			best, bestLoad = q, loadOf(q)
+		}
+	}
+	if best == nil {
+		// Pool is collapsing around a pinned vCPU; violate the pin rather
+		// than lose the vCPU (counted so tests can assert it never happens
+		// in paper scenarios).
+		h.count("pin.violated")
+		for _, q := range pool.pcpus {
+			if q != excluding {
+				best = q
+				break
+			}
+		}
+		if best == nil {
+			panic(fmt.Sprintf("hv: nowhere to requeue %v", v))
+		}
+	}
+	h.enqueue(best, v)
+	h.tickle(best)
+}
+
+func (h *Hypervisor) removePCPU(pool *Pool, p *PCPU) {
+	for i, q := range pool.pcpus {
+		if q == p {
+			pool.pcpus = append(pool.pcpus[:i], pool.pcpus[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("hv: p%d not in pool %s", p.ID, pool.Name))
+}

@@ -1,0 +1,301 @@
+package hv
+
+import (
+	"testing"
+
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+func TestSliceOverrideShortensQuantum(t *testing.T) {
+	clock, h := setup(1)
+	d := h.NewDomain("vm", nil)
+	a := newComputeGuest(h, d, simtime.Second)
+	b := newComputeGuest(h, d, simtime.Second)
+	a.v.SetSliceOverride(simtime.Millisecond)
+	b.v.SetSliceOverride(simtime.Millisecond)
+	if a.v.SliceOverride() != simtime.Millisecond {
+		t.Fatal("override not recorded")
+	}
+	h.Start()
+	h.Wake(a.v, false)
+	h.Wake(b.v, false)
+	clock.RunUntil(100 * simtime.Millisecond)
+	// 1ms alternation: ~100 preemptions in 100ms (30ms default would give ~3).
+	if got := h.Counters.Value("sched.preempt"); got < 60 {
+		t.Fatalf("preempts=%d, want 1ms churn", got)
+	}
+	checkInvariants(t, h)
+}
+
+func TestSliceOverrideDoesNotApplyOnMicroPool(t *testing.T) {
+	clock, h := setup(2)
+	d := h.NewDomain("vm", nil)
+	hog := newComputeGuest(h, d, simtime.Second)
+	victim := newComputeGuest(h, d, simtime.Second)
+	hog.v.Pin(0)
+	victim.v.Pin(0)
+	victim.v.SetSliceOverride(20 * simtime.Millisecond)
+	h.Start()
+	h.Wake(hog.v, false)
+	h.Wake(victim.v, false)
+	h.SetMicroCount(1)
+	clock.RunUntil(5 * simtime.Millisecond)
+	if !h.MigrateToMicro(victim.v) {
+		t.Fatal("migration failed")
+	}
+	migrated := clock.Now()
+	// The micro pool's 0.1ms slice must win over the 20ms override:
+	// within 0.2ms the vCPU is back home.
+	clock.RunUntil(migrated + 300*simtime.Microsecond)
+	if victim.v.OnMicro() {
+		t.Fatal("override leaked onto the micro pool")
+	}
+	checkInvariants(t, h)
+}
+
+func TestRePinMovesQueuedVCPU(t *testing.T) {
+	clock, h := setup(2)
+	d := h.NewDomain("vm", nil)
+	a := newComputeGuest(h, d, simtime.Second)
+	b := newComputeGuest(h, d, simtime.Second)
+	a.v.Pin(0)
+	b.v.Pin(0)
+	h.Start()
+	h.Wake(a.v, false)
+	h.Wake(b.v, false)
+	clock.RunUntil(simtime.Millisecond)
+	// One runs on p0, the other queues there; p1 idles.
+	var queued *VCPU
+	if a.v.State() == StateRunnable {
+		queued = a.v
+	} else {
+		queued = b.v
+	}
+	h.RePin(queued, 1)
+	// The re-pinned vCPU must move to p1 and start running there.
+	clock.RunUntil(clock.Now() + simtime.Millisecond)
+	if queued.State() != StateRunning || queued.pcpu.ID != 1 {
+		t.Fatalf("repinned vCPU state=%v pcpu=%v", queued.State(), queued.pcpu)
+	}
+	checkInvariants(t, h)
+}
+
+func TestRePinRunningVCPUMovesAtSliceEnd(t *testing.T) {
+	clock, h := setup(2)
+	d := h.NewDomain("vm", nil)
+	a := newComputeGuest(h, d, simtime.Second)
+	b := newComputeGuest(h, d, simtime.Second)
+	a.v.Pin(0)
+	b.v.Pin(0)
+	h.Start()
+	h.Wake(a.v, false)
+	h.Wake(b.v, false)
+	clock.RunUntil(simtime.Millisecond)
+	running := a.v
+	if running.State() != StateRunning {
+		running = b.v
+	}
+	h.RePin(running, 1)
+	// It keeps running its slice on p0 (no forced migration)...
+	if running.State() != StateRunning || running.pcpu.ID != 0 {
+		t.Fatal("RePin must not interrupt the current slice")
+	}
+	// ...and lands on p1 at the next requeue.
+	clock.RunUntil(40 * simtime.Millisecond)
+	if running.State() == StateRunnable && running.queuedOn != nil && running.queuedOn.ID != 1 {
+		t.Fatalf("repinned vCPU queued on p%d", running.queuedOn.ID)
+	}
+	if running.State() == StateRunning && running.pcpu.ID != 1 {
+		t.Fatalf("repinned vCPU running on p%d", running.pcpu.ID)
+	}
+	checkInvariants(t, h)
+}
+
+func TestDeboostPreemptionEndsBoostMonopoly(t *testing.T) {
+	clock, h := setup(1)
+	d := h.NewDomain("vm", nil)
+	hog := newComputeGuest(h, d, simtime.Second)
+	sleeper := newComputeGuest(h, d, simtime.Second)
+	h.Start()
+	h.Wake(hog.v, false)
+	clock.RunUntil(5 * simtime.Millisecond)
+	h.Wake(sleeper.v, true) // boosted: preempts the hog
+	clock.RunUntil(5*simtime.Millisecond + 10*simtime.Microsecond)
+	if sleeper.v.State() != StateRunning {
+		t.Fatal("boost did not dispatch the sleeper")
+	}
+	// At the first tick after the boost clears, the equal-priority hog
+	// must get the pCPU back — the boosted vCPU does not get a free
+	// 30ms slice.
+	clock.RunUntil(45 * simtime.Millisecond)
+	if h.Counters.Value("sched.deboost_preempt") == 0 {
+		t.Fatal("de-boost preemption never fired")
+	}
+	// RanTotal accumulates at deschedule; by 45ms the hog has been
+	// re-dispatched after the first post-boost tick and descheduled again.
+	if hog.v.RanTotal() < 15*simtime.Millisecond {
+		t.Fatalf("hog starved after a single boost: ran %v", hog.v.RanTotal())
+	}
+	checkInvariants(t, h)
+}
+
+func TestBurnCreditsExactness(t *testing.T) {
+	clock, h := setup(2)
+	d := h.NewDomain("vm", nil)
+	g := newComputeGuest(h, d, 25*simtime.Millisecond)
+	h.Start()
+	h.Wake(g.v, false)
+	clock.RunUntil(simtime.Second)
+	// 25ms of runtime at 100 credits / 10ms = 250 burnt; accounting added
+	// 300*2/1 per 30ms but clamps at the cap, so check the debit side via
+	// the final balance: it must reflect an exact (not tick-quantized)
+	// charge. With one always-idle competitor-free host the vCPU ends at
+	// cap minus nothing further; assert the vCPU was charged at least 200
+	// at some point by checking it is not above the cap.
+	if g.v.Credits() > h.Cfg.CreditCap {
+		t.Fatalf("credits %d exceed cap", g.v.Credits())
+	}
+	if g.v.RanTotal() != 25*simtime.Millisecond {
+		t.Fatalf("ran %v", g.v.RanTotal())
+	}
+}
+
+func TestCreditFairnessWithUnequalDemand(t *testing.T) {
+	// A vCPU that only needs 20% CPU must get ~all of it even against two
+	// full-demand hogs (UNDER priority protects light consumers).
+	clock, h := setup(1)
+	d := h.NewDomain("vm", nil)
+	light := newIntrGuest(h, d) // runs only when woken; we pulse it
+	hog1 := newComputeGuest(h, d, 10*simtime.Second)
+	hog2 := newComputeGuest(h, d, 10*simtime.Second)
+	h.Start()
+	h.Wake(hog1.v, false)
+	h.Wake(hog2.v, false)
+	pulses := 0
+	var pulse func()
+	pulse = func() {
+		h.SendVIPI(hog1.v, light.v, VecResched, 0)
+		pulses++
+		if pulses < 100 {
+			clock.After(10*simtime.Millisecond, pulse)
+		}
+	}
+	clock.After(simtime.Millisecond, pulse)
+	clock.RunUntil(simtime.Second)
+	// Every pulse found the light vCPU blocked, so every delivery was a
+	// boosted wake with prompt service.
+	if got := len(light.intrs); got < 90 {
+		t.Fatalf("light vCPU serviced only %d/100 pulses", got)
+	}
+	checkInvariants(t, h)
+}
+
+func TestMicroPoolNoPreemptProtectsCriticalWork(t *testing.T) {
+	clock, h := setup(2)
+	d := h.NewDomain("vm", nil)
+	hog := newComputeGuest(h, d, simtime.Second)
+	victim := newComputeGuest(h, d, simtime.Second)
+	waker := newIntrGuest(h, d)
+	hog.v.Pin(0)
+	victim.v.Pin(0)
+	waker.v.Pin(0)
+	h.Start()
+	h.Wake(hog.v, false)
+	h.Wake(victim.v, false)
+	h.SetMicroCount(1)
+	clock.RunUntil(simtime.Millisecond)
+	if !h.MigrateToMicro(victim.v) {
+		t.Fatal("migration failed")
+	}
+	// A boosted wake targeting the micro pCPU must not preempt the
+	// accelerated vCPU (NoBoost + NoPreempt, paper §5).
+	h.Wake(waker.v, true)
+	if victim.v.State() != StateRunning || !victim.v.OnMicro() {
+		t.Fatalf("accelerated vCPU displaced: %v", victim.v)
+	}
+	checkInvariants(t, h)
+}
+
+func TestHomePCPUPrefersPinThenAffinity(t *testing.T) {
+	_, h := setup(3)
+	d := h.NewDomain("vm", nil)
+	g := newComputeGuest(h, d, simtime.Second)
+	g.v.lastPCPU = 2
+	if p := h.homePCPU(g.v); p.ID != 2 {
+		t.Fatalf("affinity ignored: p%d", p.ID)
+	}
+	g.v.Pin(1)
+	if p := h.homePCPU(g.v); p.ID != 1 {
+		t.Fatalf("pin ignored: p%d", p.ID)
+	}
+}
+
+func TestYieldsByAndVIRQCounters(t *testing.T) {
+	clock, h := setup(1)
+	d := h.NewDomain("vm", nil)
+	spin := newSpinGuest(h, d, 25*simtime.Microsecond)
+	h.Start()
+	h.Wake(spin.v, false)
+	clock.RunUntil(5 * simtime.Millisecond)
+	if spin.v.YieldsBy(YieldPLE) == 0 {
+		t.Fatal("per-vCPU PLE count missing")
+	}
+	if spin.v.YieldsBy(YieldReason(9)) != 0 {
+		t.Fatal("out-of-range reason should read 0")
+	}
+	h.InjectPIRQ(d, VecNet, 0)
+	clock.RunUntil(clock.Now() + simtime.Millisecond)
+	if spin.v.VIRQReceived() != 1 {
+		t.Fatalf("virq count %d", spin.v.VIRQReceived())
+	}
+}
+
+func TestDomainWeightsShiftCPUShare(t *testing.T) {
+	clock, h := setup(1)
+	heavy := h.NewDomain("heavy", nil)
+	light := h.NewDomain("light", nil)
+	heavy.Weight = 3 * DefaultWeight
+	a := newComputeGuest(h, heavy, 10*simtime.Second)
+	b := newComputeGuest(h, light, 10*simtime.Second)
+	h.Start()
+	h.Wake(a.v, false)
+	h.Wake(b.v, false)
+	clock.RunUntil(3 * simtime.Second)
+	ra := a.v.RanTotal()
+	if a.v.State() == StateRunning {
+		ra += clock.Now() - a.v.runningSince
+	}
+	rb := b.v.RanTotal()
+	if b.v.State() == StateRunning {
+		rb += clock.Now() - b.v.runningSince
+	}
+	ratio := float64(ra) / float64(rb)
+	// 3x weight should buy roughly 2-4x the CPU under contention.
+	if ratio < 1.6 || ratio > 5 {
+		t.Fatalf("weight 3x bought %.2fx CPU (heavy %v vs light %v)", ratio, ra, rb)
+	}
+	checkInvariants(t, h)
+}
+
+func TestEqualWeightsStayFair(t *testing.T) {
+	clock, h := setup(1)
+	d1 := h.NewDomain("a", nil)
+	d2 := h.NewDomain("b", nil)
+	a := newComputeGuest(h, d1, 10*simtime.Second)
+	b := newComputeGuest(h, d2, 10*simtime.Second)
+	h.Start()
+	h.Wake(a.v, false)
+	h.Wake(b.v, false)
+	clock.RunUntil(2 * simtime.Second)
+	ra, rb := a.v.RanTotal(), b.v.RanTotal()
+	if a.v.State() == StateRunning {
+		ra += clock.Now() - a.v.runningSince
+	}
+	if b.v.State() == StateRunning {
+		rb += clock.Now() - b.v.runningSince
+	}
+	ratio := float64(ra) / float64(rb)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("equal weights diverged: %.2fx", ratio)
+	}
+}

@@ -1,0 +1,401 @@
+// Package metrics implements the measurement primitives the simulator and
+// the benchmark harness use: event counters, log-bucketed latency histograms
+// with quantiles, min/mean/max trackers, time-weighted gauges and the
+// RFC 1889 interarrival-jitter estimator used by iPerf.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta (>= 0) to the counter.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Summary tracks count/min/mean/max/sum of a series without storing it.
+type Summary struct {
+	count uint64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() uint64 { return s.count }
+
+// Sum returns the total of all samples.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / float64(s.count)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (s *Summary) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (s *Summary) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// StdDev returns the population standard deviation (0 when empty).
+func (s *Summary) StdDev() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	m := s.Mean()
+	v := s.sumSq/float64(s.count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Histogram is a log-bucketed latency histogram. Values are expected to be
+// non-negative (nanoseconds in practice); negative values clamp to zero.
+//
+// Buckets are: [0,1), then per-octave sub-buckets with subBuckets linear
+// divisions per power of two, up to 2^63. With subBuckets=8 the relative
+// quantile error is bounded by ~12.5%, which is ample for the latency-shape
+// comparisons in the paper.
+type Histogram struct {
+	sub     int
+	buckets []uint64
+	summary Summary
+}
+
+const histMaxExp = 63
+
+// NewHistogram returns a histogram with the given sub-bucket resolution
+// (clamped to [1, 64]).
+func NewHistogram(subBuckets int) *Histogram {
+	if subBuckets < 1 {
+		subBuckets = 1
+	}
+	if subBuckets > 64 {
+		subBuckets = 64
+	}
+	return &Histogram{
+		sub:     subBuckets,
+		buckets: make([]uint64, 1+histMaxExp*subBuckets),
+	}
+}
+
+func (h *Histogram) bucketIndex(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	exp := 63 - leadingZeros64(uint64(v)) // floor(log2 v), 0..62
+	base := int64(1) << uint(exp)
+	// Position within the octave, [0, sub).
+	frac := int((v - base) * int64(h.sub) / base)
+	if frac >= h.sub {
+		frac = h.sub - 1
+	}
+	idx := 1 + exp*h.sub + frac
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	return idx
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// bucketLower returns the inclusive lower bound of bucket idx.
+func (h *Histogram) bucketLower(idx int) int64 {
+	if idx == 0 {
+		return 0
+	}
+	idx--
+	exp := idx / h.sub
+	frac := idx % h.sub
+	base := int64(1) << uint(exp)
+	return base + base*int64(frac)/int64(h.sub)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[h.bucketIndex(v)]++
+	h.summary.Observe(float64(v))
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.summary.Count() }
+
+// Mean returns the exact mean of recorded values.
+func (h *Histogram) Mean() float64 { return h.summary.Mean() }
+
+// Min returns the exact minimum recorded value.
+func (h *Histogram) Min() int64 { return int64(h.summary.Min()) }
+
+// Max returns the exact maximum recorded value.
+func (h *Histogram) Max() int64 { return int64(h.summary.Max()) }
+
+// Quantile returns an approximation of the q-quantile (q in [0,1]).
+// It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.summary.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n-1))
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > rank {
+			return h.bucketLower(i)
+		}
+	}
+	return int64(h.summary.Max())
+}
+
+// Merge adds every bucket of other into h. Both histograms must have the
+// same sub-bucket resolution.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if other.sub != h.sub {
+		return fmt.Errorf("metrics: merging histograms with different resolution (%d vs %d)", h.sub, other.sub)
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.summary.count += other.summary.count
+	h.summary.sum += other.summary.sum
+	h.summary.sumSq += other.summary.sumSq
+	if other.summary.count > 0 {
+		if h.summary.count == other.summary.count || other.summary.min < h.summary.min {
+			h.summary.min = other.summary.min
+		}
+		if h.summary.count == other.summary.count || other.summary.max > h.summary.max {
+			h.summary.max = other.summary.max
+		}
+	}
+	return nil
+}
+
+// String renders a short summary for logs.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d min=%d mean=%.1f p50=%d p99=%d max=%d",
+		h.Count(), h.Min(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Jitter is the RFC 1889 (RTP) smoothed interarrival jitter estimator, the
+// statistic iPerf reports for UDP streams. Transit times are supplied in
+// nanoseconds; the estimate is available in milliseconds for reporting.
+type Jitter struct {
+	haveLast    bool
+	lastTransit int64
+	j           float64
+	peak        float64
+	n           uint64
+}
+
+// ObserveTransit records the transit time (receive - send) of one packet.
+func (j *Jitter) ObserveTransit(transit int64) {
+	if j.haveLast {
+		d := transit - j.lastTransit
+		if d < 0 {
+			d = -d
+		}
+		j.j += (float64(d) - j.j) / 16.0
+		if j.j > j.peak {
+			j.peak = j.j
+		}
+		j.n++
+	}
+	j.haveLast = true
+	j.lastTransit = transit
+}
+
+// Peak returns the maximum the smoothed estimator reached (ns). In a
+// deterministic simulation the instantaneous estimator decays to zero
+// whenever a measurement boundary lands in a quiet phase, so the peak is
+// the robust indicator of scheduling-induced delay bursts.
+func (j *Jitter) Peak() float64 { return j.peak }
+
+// PeakMillis returns Peak in milliseconds.
+func (j *Jitter) PeakMillis() float64 { return j.peak / 1e6 }
+
+// Nanos returns the current jitter estimate in nanoseconds.
+func (j *Jitter) Nanos() float64 { return j.j }
+
+// Millis returns the current jitter estimate in milliseconds.
+func (j *Jitter) Millis() float64 { return j.j / 1e6 }
+
+// Samples returns the number of packet pairs observed.
+func (j *Jitter) Samples() uint64 { return j.n }
+
+// Gauge tracks a step function of virtual time and integrates it, yielding
+// time-weighted averages (e.g. average number of micro-sliced cores).
+type Gauge struct {
+	value    float64
+	lastTime int64
+	area     float64
+	started  bool
+	start    int64
+}
+
+// Set updates the gauge value at virtual time now (ns).
+func (g *Gauge) Set(now int64, v float64) {
+	if !g.started {
+		g.started = true
+		g.start = now
+		g.lastTime = now
+		g.value = v
+		return
+	}
+	if now > g.lastTime {
+		g.area += g.value * float64(now-g.lastTime)
+		g.lastTime = now
+	}
+	g.value = v
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return g.value }
+
+// TimeAverage returns the time-weighted mean over [start, now].
+func (g *Gauge) TimeAverage(now int64) float64 {
+	if !g.started || now <= g.start {
+		return g.value
+	}
+	area := g.area
+	if now > g.lastTime {
+		area += g.value * float64(now-g.lastTime)
+	}
+	return area / float64(now-g.start)
+}
+
+// Set is a registry of named counters, letting subsystems export counts
+// without cross-package coupling.
+type Set struct {
+	counters map[string]*Counter
+	order    []string
+}
+
+// NewSet returns an empty registry.
+func NewSet() *Set {
+	return &Set{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (s *Set) Counter(name string) *Counter {
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	s.counters[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Value returns the value of a named counter (0 if absent).
+func (s *Set) Value(name string) uint64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names returns the counter names in creation order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Snapshot returns a copy of all counter values.
+func (s *Set) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for name, c := range s.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Reset zeroes every counter in the set.
+func (s *Set) Reset() {
+	for _, c := range s.counters {
+		c.Reset()
+	}
+}
+
+// String renders the set sorted by name for stable logs.
+func (s *Set) String() string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, s.counters[n].Value())
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+// Package report renders fixed-width text tables for the experiment
+// harness, mirroring how the paper's tables and figure series read.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid with optional footnotes.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one row, stringifying every cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	rule := strings.Repeat("-", total)
+	fmt.Fprintln(w, rule)
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, rule)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s", widths[i]+2, cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, rule)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Renderer is anything that can print itself (each experiment result).
+type Renderer interface {
+	Render(w io.Writer)
+}

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tab := Table{
+		Title:   "T",
+		Columns: []string{"a", "long-column"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("x", 42)
+	tab.AddRow("yyyyyyyy", 3.14159)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "T\n") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "long-column") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatal("float not formatted")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatal("missing note")
+	}
+	lines := strings.Split(out, "\n")
+	// Header and data rows share the rule width.
+	var rules []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "---") {
+			rules = append(rules, l)
+		}
+	}
+	if len(rules) != 3 {
+		t.Fatalf("want 3 rules, got %d", len(rules))
+	}
+	if rules[0] != rules[1] || rules[1] != rules[2] {
+		t.Fatal("rules differ in width")
+	}
+}
+
+func TestAddRowStringifies(t *testing.T) {
+	tab := Table{Columns: []string{"a", "b", "c"}}
+	tab.AddRow("s", uint64(7), 1.5)
+	if tab.Rows[0][0] != "s" || tab.Rows[0][1] != "7" || tab.Rows[0][2] != "1.50" {
+		t.Fatalf("row: %v", tab.Rows[0])
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tab := Table{Columns: []string{"x"}}
+	tab.AddRow(1)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if strings.HasPrefix(buf.String(), "\n---") {
+		t.Log("leading rule without title is fine")
+	}
+	if !strings.Contains(buf.String(), "1") {
+		t.Fatal("missing cell")
+	}
+}

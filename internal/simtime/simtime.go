@@ -1,0 +1,231 @@
+// Package simtime provides the discrete-event simulation core: a virtual
+// nanosecond clock and a cancellable event queue.
+//
+// The simulation is single-threaded by design. All state transitions in the
+// simulated machine happen inside event callbacks executed in strict
+// timestamp order (ties broken by scheduling order), which makes every run
+// bit-for-bit reproducible for a given seed. This is the substitution for
+// running on real hardware: latencies are exact virtual-time quantities
+// instead of noisy wall-clock measurements.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations, mirroring time.Duration constants but in virtual time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Infinity is a time later than any event the simulator will ever schedule.
+const Infinity Time = 1<<63 - 1
+
+// String formats a Time with an adaptive unit for debugging and reports.
+func (t Time) String() string {
+	switch {
+	case t == Infinity:
+		return "inf"
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Event is a scheduled callback. Events are created through Clock.At or
+// Clock.After and may be cancelled until they fire.
+type Event struct {
+	when     Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func()
+	label    string
+	clockRef *Clock // owning clock while queued; nil once fired/cancelled
+}
+
+// When returns the virtual time at which the event fires (or fired).
+func (e *Event) When() Time { return e.when }
+
+// Pending reports whether the event is still queued.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// Cancel removes the event from the queue. Cancelling a fired or already
+// cancelled event is a no-op. Cancel returns true if the event was pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.index < 0 || e.clockRef == nil {
+		return false
+	}
+	heap.Remove(&e.clockRef.pq, e.index)
+	e.clockRef = nil
+	return true
+}
+
+// Clock owns virtual time and the pending-event queue.
+type Clock struct {
+	now     Time
+	pq      eventHeap
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewClock returns a clock at time zero with an empty queue.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Fired returns the number of events executed so far (for diagnostics).
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int { return len(c.pq) }
+
+// At schedules fn to run at time t. Scheduling in the past panics: that is
+// always a simulator bug, and silently clamping would corrupt causality.
+func (c *Clock) At(t Time, fn func()) *Event {
+	return c.AtLabeled(t, "", fn)
+}
+
+// AtLabeled is At with a debug label attached to the event.
+func (c *Clock) AtLabeled(t Time, label string, fn func()) *Event {
+	if t < c.now {
+		panic(fmt.Sprintf("simtime: scheduling event %q at %v before now %v", label, t, c.now))
+	}
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	c.seq++
+	ev := &Event{when: t, seq: c.seq, fn: fn, label: label, index: -1, clockRef: c}
+	heap.Push(&c.pq, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (c *Clock) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.At(c.now+d, fn)
+}
+
+// AfterLabeled is After with a debug label.
+func (c *Clock) AfterLabeled(d Duration, label string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.AtLabeled(c.now+d, label, fn)
+}
+
+// Step executes the earliest pending event. It returns false when the queue
+// is empty or the clock has been stopped.
+func (c *Clock) Step() bool {
+	if c.stopped || len(c.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.pq).(*Event)
+	ev.clockRef = nil
+	c.now = ev.when
+	c.fired++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is exhausted or the next event
+// would fire after t. The clock is left at min(t, time of last event run).
+// It returns the number of events executed.
+func (c *Clock) RunUntil(t Time) uint64 {
+	var n uint64
+	for !c.stopped && len(c.pq) > 0 && c.pq[0].when <= t {
+		c.Step()
+		n++
+	}
+	if c.now < t {
+		c.now = t
+	}
+	return n
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (c *Clock) Run() uint64 {
+	var n uint64
+	for c.Step() {
+		n++
+	}
+	return n
+}
+
+// Stop halts Step/Run/RunUntil. Pending events remain queued.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (c *Clock) Stopped() bool { return c.stopped }
+
+// NextEventTime returns the firing time of the earliest queued event, or
+// Infinity when the queue is empty.
+func (c *Clock) NextEventTime() Time {
+	if len(c.pq) == 0 {
+		return Infinity
+	}
+	return c.pq[0].when
+}
+
+// eventHeap is a min-heap on (when, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+// VCPUKey identifies a vCPU across the trace.
+type VCPUKey struct {
+	Dom  int16
+	VCPU int16
+}
+
+func (k VCPUKey) String() string { return fmt.Sprintf("d%dv%d", k.Dom, k.VCPU) }
+
+// VCPUSched is one vCPU's scheduling behaviour reconstructed from the
+// trace (xentrace's sched-analysis view).
+type VCPUSched struct {
+	Dispatches uint64
+	Preempts   uint64
+	Yields     uint64
+	Blocks     uint64
+	Wakes      uint64
+	Migrations uint64
+
+	// RunTime accumulated while dispatched (within the trace window).
+	RunTime simtime.Duration
+	// WaitHist is the runnable-to-dispatch latency distribution — the
+	// per-vCPU face of the virtual-time-discontinuity problem.
+	WaitHist *metrics.Histogram
+}
+
+// Analysis is the reconstructed scheduling picture of a trace window.
+type Analysis struct {
+	PerVCPU map[VCPUKey]*VCPUSched
+	From    simtime.Time
+	To      simtime.Time
+}
+
+// Analyze reconstructs per-vCPU scheduling statistics from records
+// (oldest-first, as returned by Buffer.Records). Records outside the
+// scheduling classes are ignored.
+func Analyze(recs []Record) *Analysis {
+	a := &Analysis{PerVCPU: make(map[VCPUKey]*VCPUSched)}
+	if len(recs) == 0 {
+		return a
+	}
+	a.From = recs[0].Time
+	a.To = recs[len(recs)-1].Time
+
+	runningSince := make(map[VCPUKey]simtime.Time)
+	runnableSince := make(map[VCPUKey]simtime.Time)
+	get := func(k VCPUKey) *VCPUSched {
+		s := a.PerVCPU[k]
+		if s == nil {
+			s = &VCPUSched{WaitHist: metrics.NewHistogram(8)}
+			a.PerVCPU[k] = s
+		}
+		return s
+	}
+	endRun := func(k VCPUKey, at simtime.Time) {
+		if start, ok := runningSince[k]; ok {
+			get(k).RunTime += at - start
+			delete(runningSince, k)
+		}
+	}
+	for _, r := range recs {
+		k := VCPUKey{r.Dom, r.VCPU}
+		switch r.Kind {
+		case KindSchedule:
+			s := get(k)
+			s.Dispatches++
+			if since, ok := runnableSince[k]; ok {
+				s.WaitHist.Observe(int64(r.Time - since))
+				delete(runnableSince, k)
+			}
+			runningSince[k] = r.Time
+		case KindPreempt:
+			get(k).Preempts++
+			endRun(k, r.Time)
+			runnableSince[k] = r.Time
+		case KindYield:
+			get(k).Yields++
+			endRun(k, r.Time)
+			runnableSince[k] = r.Time
+		case KindBlock:
+			get(k).Blocks++
+			endRun(k, r.Time)
+			delete(runnableSince, k)
+		case KindWake:
+			get(k).Wakes++
+			runnableSince[k] = r.Time
+		case KindMigrate:
+			get(k).Migrations++
+		}
+	}
+	// Close still-running intervals at the window end.
+	for k, start := range runningSince {
+		get(k).RunTime += a.To - start
+	}
+	return a
+}
+
+// Keys returns the vCPUs seen, sorted by (dom, vcpu).
+func (a *Analysis) Keys() []VCPUKey {
+	keys := make([]VCPUKey, 0, len(a.PerVCPU))
+	for k := range a.PerVCPU {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Dom != keys[j].Dom {
+			return keys[i].Dom < keys[j].Dom
+		}
+		return keys[i].VCPU < keys[j].VCPU
+	})
+	return keys
+}
+
+// Window returns the trace window length.
+func (a *Analysis) Window() simtime.Duration { return a.To - a.From }
+
+// Render prints the per-vCPU table.
+func (a *Analysis) Render(w io.Writer) {
+	fmt.Fprintf(w, "scheduling analysis over %v (%d vCPUs)\n", a.Window(), len(a.PerVCPU))
+	fmt.Fprintf(w, "%-8s %10s %9s %9s %8s %8s %8s %12s %12s %12s\n",
+		"vcpu", "dispatches", "preempts", "yields", "blocks", "wakes", "migr",
+		"run", "wait-p50", "wait-max")
+	for _, k := range a.Keys() {
+		s := a.PerVCPU[k]
+		fmt.Fprintf(w, "%-8s %10d %9d %9d %8d %8d %8d %12v %12v %12v\n",
+			k, s.Dispatches, s.Preempts, s.Yields, s.Blocks, s.Wakes, s.Migrations,
+			s.RunTime, simtime.Time(s.WaitHist.Quantile(0.5)), simtime.Time(s.WaitHist.Max()))
+	}
+}
+
+// YieldRIPs histograms the instruction pointers recorded at yield events,
+// resolved through the supplied per-domain resolver (typically
+// ksym.Table.NameOf) — the paper's Table-3 methodology applied to a raw
+// trace.
+func YieldRIPs(recs []Record, resolve func(dom int16, rip uint64) string) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, r := range recs {
+		if r.Kind != KindYield {
+			continue
+		}
+		out[resolve(r.Dom, r.Arg1)]++
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+func rec(t simtime.Time, k Kind, dom, vcpu int16) Record {
+	return Record{Time: t, Kind: k, Dom: dom, VCPU: vcpu}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if len(a.PerVCPU) != 0 || a.Window() != 0 {
+		t.Fatal("empty analysis not empty")
+	}
+}
+
+func TestAnalyzeRunAndWaitTimes(t *testing.T) {
+	recs := []Record{
+		rec(0, KindSchedule, 0, 0),  // runs 0..100
+		rec(100, KindPreempt, 0, 0), // waits 100..150
+		rec(100, KindSchedule, 0, 1),
+		rec(150, KindPreempt, 0, 1),
+		rec(150, KindSchedule, 0, 0), // runs 150..200
+		rec(200, KindBlock, 0, 0),
+		rec(200, KindSchedule, 0, 1), // still running at window end (250)
+		rec(250, KindWake, 1, 0),
+	}
+	a := Analyze(recs)
+	v0 := a.PerVCPU[VCPUKey{0, 0}]
+	if v0.Dispatches != 2 || v0.Preempts != 1 || v0.Blocks != 1 {
+		t.Fatalf("v0 %+v", v0)
+	}
+	if v0.RunTime != 150 {
+		t.Fatalf("v0 run %v", v0.RunTime)
+	}
+	if v0.WaitHist.Count() != 1 || v0.WaitHist.Max() != 50 {
+		t.Fatalf("v0 wait %s", v0.WaitHist)
+	}
+	v1 := a.PerVCPU[VCPUKey{0, 1}]
+	// Second run interval closes at window end: 100..150 plus 200..250.
+	if v1.RunTime != 100 {
+		t.Fatalf("v1 run %v", v1.RunTime)
+	}
+	w := a.PerVCPU[VCPUKey{1, 0}]
+	if w.Wakes != 1 {
+		t.Fatalf("wake missing: %+v", w)
+	}
+	if a.Window() != 250 {
+		t.Fatalf("window %v", a.Window())
+	}
+}
+
+func TestAnalyzeYieldEndsRun(t *testing.T) {
+	recs := []Record{
+		rec(0, KindSchedule, 0, 0),
+		rec(40, KindYield, 0, 0),
+		rec(90, KindSchedule, 0, 0),
+		rec(100, KindPreempt, 0, 0),
+	}
+	a := Analyze(recs)
+	s := a.PerVCPU[VCPUKey{0, 0}]
+	if s.Yields != 1 || s.RunTime != 50 {
+		t.Fatalf("%+v", s)
+	}
+	if s.WaitHist.Max() != 50 {
+		t.Fatalf("wait after yield %d", s.WaitHist.Max())
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	recs := []Record{
+		rec(0, KindSchedule, 1, 1),
+		rec(1, KindSchedule, 0, 2),
+		rec(2, KindSchedule, 0, 1),
+	}
+	a := Analyze(recs)
+	keys := a.Keys()
+	want := []VCPUKey{{0, 1}, {0, 2}, {1, 1}}
+	for i, k := range keys {
+		if k != want[i] {
+			t.Fatalf("keys %v", keys)
+		}
+	}
+}
+
+func TestAnalysisRender(t *testing.T) {
+	recs := []Record{
+		rec(0, KindSchedule, 0, 0),
+		rec(100, KindPreempt, 0, 0),
+	}
+	var buf bytes.Buffer
+	Analyze(recs).Render(&buf)
+	if !strings.Contains(buf.String(), "d0v0") {
+		t.Fatalf("render: %s", buf.String())
+	}
+}
+
+func TestYieldRIPs(t *testing.T) {
+	recs := []Record{
+		{Time: 1, Kind: KindYield, Dom: 0, Arg1: 0x10},
+		{Time: 2, Kind: KindYield, Dom: 0, Arg1: 0x10},
+		{Time: 3, Kind: KindYield, Dom: 1, Arg1: 0x20},
+		{Time: 4, Kind: KindSchedule, Dom: 1, Arg1: 0x30}, // ignored
+	}
+	got := YieldRIPs(recs, func(dom int16, rip uint64) string {
+		if rip == 0x10 {
+			return "spin"
+		}
+		return "other"
+	})
+	if got["spin"] != 2 || got["other"] != 1 {
+		t.Fatalf("%v", got)
+	}
+}
+
+func TestVCPUKeyString(t *testing.T) {
+	if (VCPUKey{2, 5}).String() != "d2v5" {
+		t.Fatal("key string")
+	}
+}

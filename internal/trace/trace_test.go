@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+func TestEmitAndRecords(t *testing.T) {
+	b := NewBuffer(10)
+	for i := 0; i < 5; i++ {
+		b.Emit(Record{Time: simtime.Time(i), Kind: KindYield, Dom: 1, VCPU: int16(i)})
+	}
+	recs := b.Records()
+	if len(recs) != 5 {
+		t.Fatalf("len=%d", len(recs))
+	}
+	for i, r := range recs {
+		if r.VCPU != int16(i) {
+			t.Fatalf("record %d out of order: %v", i, r)
+		}
+	}
+	if b.Len() != 5 {
+		t.Fatalf("Len=%d", b.Len())
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Emit(Record{Kind: KindSchedule, VCPU: int16(i)})
+	}
+	recs := b.Records()
+	if len(recs) != 4 {
+		t.Fatalf("len=%d", len(recs))
+	}
+	for i, r := range recs {
+		if r.VCPU != int16(6+i) {
+			t.Fatalf("wrap order wrong: got vcpu %d at %d", r.VCPU, i)
+		}
+	}
+	if b.Count(KindSchedule) != 10 {
+		t.Fatalf("count survives wrap: %d", b.Count(KindSchedule))
+	}
+}
+
+func TestCountsExactWhenDisabled(t *testing.T) {
+	b := NewBuffer(2)
+	b.SetEnabled(false)
+	for i := 0; i < 7; i++ {
+		b.Emit(Record{Kind: KindVIPI})
+	}
+	if b.Count(KindVIPI) != 7 {
+		t.Fatalf("count=%d", b.Count(KindVIPI))
+	}
+	if b.Len() != 0 {
+		t.Fatalf("disabled ring stored %d records", b.Len())
+	}
+}
+
+func TestZeroCapacityBufferCountsOnly(t *testing.T) {
+	b := NewBuffer(0)
+	b.Emit(Record{Kind: KindYield})
+	if b.Count(KindYield) != 1 || b.Len() != 0 {
+		t.Fatalf("count=%d len=%d", b.Count(KindYield), b.Len())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer(16)
+	for i := 0; i < 8; i++ {
+		k := KindYield
+		if i%2 == 0 {
+			k = KindBlock
+		}
+		b.Emit(Record{Kind: k, VCPU: int16(i)})
+	}
+	got := b.Filter(func(r Record) bool { return r.Kind == KindYield })
+	if len(got) != 4 {
+		t.Fatalf("filtered %d", len(got))
+	}
+	for _, r := range got {
+		if r.Kind != KindYield {
+			t.Fatalf("filter leaked %v", r)
+		}
+	}
+}
+
+func TestResetCounts(t *testing.T) {
+	b := NewBuffer(4)
+	b.Emit(Record{Kind: KindWake})
+	b.ResetCounts()
+	if b.Count(KindWake) != 0 {
+		t.Fatal("ResetCounts failed")
+	}
+	if b.Len() != 1 {
+		t.Fatal("ResetCounts should keep ring contents")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindYield.String() != "yield" {
+		t.Fatalf("got %q", KindYield.String())
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatalf("got %q", Kind(200).String())
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Time: 1500, Kind: KindMigrate, Dom: 2, VCPU: 3, PCPU: 4, Arg0: 0xff}
+	s := r.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: after N emits into a ring of capacity C, Records() returns the
+// last min(N, C) records in emit order.
+func TestPropertyRingSemantics(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n, c := int(nRaw%200), int(cRaw%20)+1
+		b := NewBuffer(c)
+		for i := 0; i < n; i++ {
+			b.Emit(Record{Kind: KindSchedule, Arg0: uint64(i)})
+		}
+		recs := b.Records()
+		want := n
+		if want > c {
+			want = c
+		}
+		if len(recs) != want {
+			return false
+		}
+		for i, r := range recs {
+			if r.Arg0 != uint64(n-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package vnet models the virtualized network path of the paper's I/O
+// experiments: a virtual NIC with a bounded receive ring that raises
+// physical IRQs into the hypervisor, plus iPerf-like traffic generators —
+// a paced UDP stream (RFC 1889 jitter, goodput, loss) and a windowed
+// TCP-like stream whose sender is clocked by application-level
+// consumption. The delivery chain is exactly the paper's Figure 2:
+// packet → pIRQ → hypervisor → vIRQ → guest hardirq → softIRQ → socket →
+// user-thread wakeup.
+package vnet
+
+import (
+	"fmt"
+
+	"github.com/microslicedcore/microsliced/internal/guest"
+	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+// DefaultRingSize is the RX descriptor ring size (e1000 default 256).
+const DefaultRingSize = 256
+
+// NIC is a virtual network interface attached to one domain. It implements
+// guest.NetDevice.
+type NIC struct {
+	h    *hv.Hypervisor
+	dom  *hv.Domain
+	ring []guest.Packet
+	cap  int
+
+	irqRaised bool // NAPI-style coalescing: one IRQ until the ring drains
+
+	RxPackets uint64
+	RxDrops   uint64
+	TxBytes   uint64
+	IRQs      uint64
+}
+
+// NewNIC creates a NIC for dom with the given RX ring capacity
+// (DefaultRingSize if 0).
+func NewNIC(h *hv.Hypervisor, dom *hv.Domain, ringCap int) *NIC {
+	if ringCap <= 0 {
+		ringCap = DefaultRingSize
+	}
+	return &NIC{h: h, dom: dom, cap: ringCap}
+}
+
+// RingLen returns the current RX ring occupancy.
+func (n *NIC) RingLen() int { return len(n.ring) }
+
+// Rx delivers one packet from the wire into the RX ring, raising a
+// physical IRQ unless one is already outstanding. A full ring drops the
+// packet (tail drop), which is how sustained guest scheduling delays turn
+// into UDP loss.
+func (n *NIC) Rx(p guest.Packet) {
+	if len(n.ring) >= n.cap {
+		n.RxDrops++
+		return
+	}
+	n.ring = append(n.ring, p)
+	n.RxPackets++
+	if !n.irqRaised {
+		n.irqRaised = true
+		n.IRQs++
+		n.h.InjectPIRQ(n.dom, hv.VecNet, 0)
+	}
+}
+
+// Fetch implements guest.NetDevice: the softIRQ handler drains up to max
+// packets. If packets remain, the IRQ is immediately re-raised (NAPI
+// re-poll); otherwise the coalescing latch clears.
+func (n *NIC) Fetch(max int) []guest.Packet {
+	var out []guest.Packet
+	if len(n.ring) <= max {
+		out = n.ring
+		n.ring = nil
+	} else {
+		out = append(out, n.ring[:max]...)
+		n.ring = append([]guest.Packet(nil), n.ring[max:]...)
+	}
+	if len(n.ring) > 0 {
+		n.IRQs++
+		n.h.InjectPIRQ(n.dom, hv.VecNet, 0)
+	} else {
+		n.irqRaised = false
+	}
+	return out
+}
+
+// Transmit implements guest.NetDevice (guest->world traffic; accounted,
+// otherwise sunk).
+func (n *NIC) Transmit(bytes int, now simtime.Time) {
+	n.TxBytes += uint64(bytes)
+}
+
+var _ guest.NetDevice = (*NIC)(nil)
+
+// ---------------------------------------------------------------------------
+// UDP stream
+// ---------------------------------------------------------------------------
+
+// UDPFlow is an iPerf-style paced UDP sender plus the receiver-side
+// accounting (goodput, loss, RFC 1889 jitter at application consume time).
+type UDPFlow struct {
+	nic   *NIC
+	clock *simtime.Clock
+	ID    int
+
+	PktBytes int
+	RateBps  int64 // offered load in bits per second
+
+	seq       uint64
+	sendEvent *simtime.Event
+	stopped   bool
+	Jitter    metrics.Jitter
+	SentBytes uint64
+	RxBytes   uint64
+	RxPackets uint64
+	firstRx   simtime.Time
+	lastRx    simtime.Time
+	haveRx    bool
+}
+
+// NewUDPFlow creates a UDP flow towards dom's NIC. Attach must be called
+// with the receiving socket before Start.
+func NewUDPFlow(clock *simtime.Clock, nic *NIC, id, pktBytes int, rateBps int64) *UDPFlow {
+	if pktBytes <= 0 || rateBps <= 0 {
+		panic("vnet: UDP flow needs positive packet size and rate")
+	}
+	return &UDPFlow{nic: nic, clock: clock, ID: id, PktBytes: pktBytes, RateBps: rateBps}
+}
+
+// Attach wires the flow's receiver accounting into the guest socket.
+func (f *UDPFlow) Attach(sock *guest.Socket) {
+	sock.OnAppConsume = func(p guest.Packet, now simtime.Time) {
+		f.RxBytes += uint64(p.Bytes)
+		f.RxPackets++
+		f.Jitter.ObserveTransit(int64(now - p.SentAt))
+		if !f.haveRx {
+			f.haveRx = true
+			f.firstRx = now
+		}
+		f.lastRx = now
+	}
+}
+
+// interval returns the pacing gap between packets.
+func (f *UDPFlow) interval() simtime.Duration {
+	return simtime.Duration(int64(f.PktBytes) * 8 * int64(simtime.Second) / f.RateBps)
+}
+
+// Start begins paced transmission until Stop (or forever).
+func (f *UDPFlow) Start() {
+	f.sendOne()
+}
+
+func (f *UDPFlow) sendOne() {
+	if f.stopped {
+		return
+	}
+	f.seq++
+	f.SentBytes += uint64(f.PktBytes)
+	f.nic.Rx(guest.Packet{Seq: f.seq, Flow: f.ID, Bytes: f.PktBytes, SentAt: f.clock.Now()})
+	f.sendEvent = f.clock.After(f.interval(), f.sendOne)
+}
+
+// Stop halts the sender.
+func (f *UDPFlow) Stop() {
+	f.stopped = true
+	if f.sendEvent != nil {
+		f.sendEvent.Cancel()
+		f.sendEvent = nil
+	}
+}
+
+// GoodputBps returns the application-level receive rate over the window
+// observed between the first and last consumed packet.
+func (f *UDPFlow) GoodputBps() float64 {
+	if !f.haveRx || f.lastRx <= f.firstRx {
+		return 0
+	}
+	return float64(f.RxBytes*8) / (f.lastRx - f.firstRx).Seconds()
+}
+
+// LossRate returns the fraction of offered packets not consumed.
+func (f *UDPFlow) LossRate() float64 {
+	if f.seq == 0 {
+		return 0
+	}
+	return 1 - float64(f.RxPackets)/float64(f.seq)
+}
+
+// ---------------------------------------------------------------------------
+// TCP-like stream
+// ---------------------------------------------------------------------------
+
+// TCPFlow is a windowed stream: at most Window segments are in flight, and
+// a new segment is released only when the application consumes one
+// (ack-clocked). Sends are additionally paced to the link rate. Guest
+// scheduling delays therefore throttle the achieved bandwidth exactly as
+// they throttle a real TCP connection's ack clock.
+type TCPFlow struct {
+	nic   *NIC
+	clock *simtime.Clock
+	ID    int
+
+	PktBytes  int
+	Window    int
+	LinkBps   int64
+	WireDelay simtime.Duration
+
+	seq      uint64
+	inflight int
+	nextTx   simtime.Time
+	stopped  bool
+	txQueued bool
+
+	RxBytes   uint64
+	RxPackets uint64
+	firstRx   simtime.Time
+	lastRx    simtime.Time
+	haveRx    bool
+	Jitter    metrics.Jitter
+}
+
+// NewTCPFlow creates a TCP-like flow towards dom's NIC.
+func NewTCPFlow(clock *simtime.Clock, nic *NIC, id, pktBytes, window int, linkBps int64, wireDelay simtime.Duration) *TCPFlow {
+	if pktBytes <= 0 || window <= 0 || linkBps <= 0 {
+		panic("vnet: TCP flow needs positive packet size, window and rate")
+	}
+	return &TCPFlow{
+		nic: nic, clock: clock, ID: id,
+		PktBytes: pktBytes, Window: window, LinkBps: linkBps, WireDelay: wireDelay,
+	}
+}
+
+// Attach wires receiver accounting and the ack clock into the guest socket.
+func (f *TCPFlow) Attach(sock *guest.Socket) {
+	sock.OnAppConsume = func(p guest.Packet, now simtime.Time) {
+		f.RxBytes += uint64(p.Bytes)
+		f.RxPackets++
+		f.Jitter.ObserveTransit(int64(now - p.SentAt))
+		if !f.haveRx {
+			f.haveRx = true
+			f.firstRx = now
+		}
+		f.lastRx = now
+		if f.inflight > 0 {
+			f.inflight--
+		}
+		f.pump()
+	}
+}
+
+// Start opens the window.
+func (f *TCPFlow) Start() { f.pump() }
+
+// Stop halts the sender.
+func (f *TCPFlow) Stop() { f.stopped = true }
+
+// pump sends as long as the window and link pacing allow.
+func (f *TCPFlow) pump() {
+	if f.stopped || f.txQueued {
+		return
+	}
+	if f.inflight >= f.Window {
+		return
+	}
+	now := f.clock.Now()
+	if f.nextTx > now {
+		f.txQueued = true
+		f.clock.At(f.nextTx, func() {
+			f.txQueued = false
+			f.pump()
+		})
+		return
+	}
+	f.inflight++
+	f.seq++
+	gap := simtime.Duration(int64(f.PktBytes) * 8 * int64(simtime.Second) / f.LinkBps)
+	f.nextTx = now + gap
+	sentAt := now
+	seq := f.seq
+	f.clock.After(f.WireDelay, func() {
+		f.nic.Rx(guest.Packet{Seq: seq, Flow: f.ID, Bytes: f.PktBytes, SentAt: sentAt})
+	})
+	f.pump()
+}
+
+// GoodputBps returns the application-level receive rate.
+func (f *TCPFlow) GoodputBps() float64 {
+	if !f.haveRx || f.lastRx <= f.firstRx {
+		return 0
+	}
+	return float64(f.RxBytes*8) / (f.lastRx - f.firstRx).Seconds()
+}
+
+func (f *TCPFlow) String() string {
+	return fmt.Sprintf("tcp flow %d: %d segs, %.1f Mbps", f.ID, f.RxPackets, f.GoodputBps()/1e6)
+}
