@@ -313,6 +313,27 @@ func BenchmarkSimulator_EventThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkRunAll_SweepGrid measures a whole static-pool sweep submitted as
+// one grid through experiment.RunAll — the unit of work every table and
+// figure generator now hands to the worker pool. Run with -cpu to compare
+// worker counts; results are bit-identical at any parallelism.
+func BenchmarkRunAll_SweepGrid(b *testing.B) {
+	grid := make([]experiment.Setup, 0, 4)
+	for n := 0; n <= 3; n++ {
+		cc := core.StaticConfig(n)
+		if n == 0 {
+			cc.Mode = core.ModeOff
+		}
+		grid = append(grid, corun("exim", cc))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAll(grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1_RivalComparison quantifies the paper's Table 1: each
 // implemented prior-work system against the micro-sliced mechanism on the
 // lock-holder-preemption scenario.

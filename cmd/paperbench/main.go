@@ -6,7 +6,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"github.com/microslicedcore/microsliced/internal/experiment"
 	"github.com/microslicedcore/microsliced/internal/report"
@@ -17,8 +19,24 @@ func main() {
 	var (
 		runs = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs or 'all'")
 		secs = flag.Float64("seconds", 3, "simulated seconds per run")
+		par  = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS, 1 = serial)")
+		prof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+	experiment.SetParallelism(*par)
+	if *prof != "" {
+		f, err := os.Create(*prof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	dur := simtime.Duration(*secs * float64(simtime.Second))
 	want := map[string]bool{}
 	for _, r := range strings.Split(*runs, ",") {
@@ -40,6 +58,10 @@ func main() {
 			bests[s.Workload] = s.BestStatic()
 		}
 	}
+	// Jobs run serially — fig6/fig7 consume the static-best pool sizes
+	// recorded by the fig4/fig5 sweeps — but each generator submits its own
+	// scenario grid through experiment.RunAll, so the -parallel worker pool
+	// is busy within every job.
 	jobs := []job{
 		{"table1", func() (report.Renderer, error) { return experiment.Table1(dur) }},
 		{"table2", func() (report.Renderer, error) { return experiment.Table2(dur) }},
@@ -67,16 +89,21 @@ func main() {
 		{"fig9", func() (report.Renderer, error) { return experiment.Figure9(dur) }},
 		{"ext-usercs", func() (report.Renderer, error) { return experiment.ExtensionUserCS(dur) }},
 	}
+	start := time.Now()
 	for _, j := range jobs {
 		if !sel(j.name) {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "running %s (%v simulated per scenario)...\n", j.name, dur)
+		fmt.Fprintf(os.Stderr, "running %s (%v simulated per scenario, %d workers)...\n",
+			j.name, dur, experiment.Parallelism())
+		t0 := time.Now()
 		r, err := j.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", j.name, err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "%s done in %v\n", j.name, time.Since(t0).Round(time.Millisecond))
 		r.Render(os.Stdout)
 	}
+	fmt.Fprintf(os.Stderr, "total wall-clock: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -136,6 +136,20 @@ type Controller struct {
 	runDelta    eventStats // urgent events observed during the last run phase
 	lastSnap    map[string]uint64
 	started     bool
+
+	hot ctrlHot // interned counters for the per-yield/per-relay hooks
+}
+
+// ctrlHot holds the controller counters incremented on every detection
+// event, resolved once in Attach (the adaptive-step counters stay on the
+// string-keyed registry: they fire at most once per 10 ms profile phase).
+type ctrlHot struct {
+	triggerPLE  *metrics.Counter
+	triggerIPI  *metrics.Counter
+	triggerVIRQ *metrics.Counter
+	triggerVIPI *metrics.Counter
+	migrAttempt *metrics.Counter
+	migrOK      *metrics.Counter
 }
 
 // Attach builds a controller for h and installs its hooks. Call after all
@@ -153,6 +167,14 @@ func Attach(h *hv.Hypervisor, cfg Config) (*Controller, error) {
 		userRegions: make(map[int][]ksym.UserRegion),
 		SymbolHits:  make(map[string]uint64),
 		urEvents:    make([]eventStats, cfg.MaxMicroCores+1),
+	}
+	c.hot = ctrlHot{
+		triggerPLE:  c.Counters.Handle("trigger.ple"),
+		triggerIPI:  c.Counters.Handle("trigger.ipi"),
+		triggerVIRQ: c.Counters.Handle("trigger.virq"),
+		triggerVIPI: c.Counters.Handle("trigger.vipi"),
+		migrAttempt: c.Counters.Handle("migrate.attempt"),
+		migrOK:      c.Counters.Handle("migrate.ok"),
 	}
 	for _, d := range h.Domains() {
 		if len(d.SymbolMap) == 0 {
@@ -237,7 +259,7 @@ func (c *Controller) classify(v *hv.VCPU) (string, ksym.Class) {
 func (c *Controller) onYield(v *hv.VCPU, reason hv.YieldReason) {
 	switch reason {
 	case hv.YieldPLE:
-		c.Counters.Counter("trigger.ple").Inc()
+		c.hot.triggerPLE.Inc()
 		name, _ := c.classify(v)
 		c.hit(name)
 		// The yielder spins on a lock: accelerate preempted siblings
@@ -246,7 +268,7 @@ func (c *Controller) onYield(v *hv.VCPU, reason hv.YieldReason) {
 		// micro core would only burn the pool's capacity.
 		c.accelerateSiblings(v, false)
 	case hv.YieldIPIWait:
-		c.Counters.Counter("trigger.ipi").Inc()
+		c.hot.triggerIPI.Inc()
 		name, cls := c.classify(v)
 		c.hit(name)
 		if cls == ksym.ClassIPI || cls == ksym.ClassTLB {
@@ -264,9 +286,9 @@ func (c *Controller) migrate(v *hv.VCPU) {
 	if v.State() != hv.StateRunnable || v.OnMicro() {
 		return
 	}
-	c.Counters.Counter("migrate.attempt").Inc()
+	c.hot.migrAttempt.Inc()
 	if c.h.MigrateToMicro(v) {
-		c.Counters.Counter("migrate.ok").Inc()
+		c.hot.migrOK.Inc()
 	}
 }
 
@@ -301,10 +323,10 @@ func (c *Controller) onVIRQRelay(target *hv.VCPU) {
 	if target.State() != hv.StateRunnable || target.OnMicro() {
 		return
 	}
-	c.Counters.Counter("trigger.virq").Inc()
-	c.Counters.Counter("migrate.attempt").Inc()
+	c.hot.triggerVIRQ.Inc()
+	c.hot.migrAttempt.Inc()
 	if c.h.MigrateToMicro(target) {
-		c.Counters.Counter("migrate.ok").Inc()
+		c.hot.migrOK.Inc()
 	}
 }
 
@@ -318,10 +340,10 @@ func (c *Controller) onVIPIRelay(src, target *hv.VCPU, vec hv.Vector) {
 	if target.State() != hv.StateRunnable || target.OnMicro() {
 		return
 	}
-	c.Counters.Counter("trigger.vipi").Inc()
-	c.Counters.Counter("migrate.attempt").Inc()
+	c.hot.triggerVIPI.Inc()
+	c.hot.migrAttempt.Inc()
 	if c.h.MigrateToMicro(target) {
-		c.Counters.Counter("migrate.ok").Inc()
+		c.hot.migrOK.Inc()
 	}
 }
 

@@ -85,17 +85,26 @@ func runUserCSApp(cc core.Config, register bool, dur simtime.Duration) (uint64, 
 func ExtensionUserCS(dur simtime.Duration) (*ExtensionResult, error) {
 	offCfg := core.DefaultConfig()
 	offCfg.Mode = core.ModeOff
-	base, _, err := runUserCSApp(offCfg, false, dur)
-	if err != nil {
-		return nil, err
-	}
-	kern, _, err := runUserCSApp(core.StaticConfig(1), false, dur)
-	if err != nil {
-		return nil, err
-	}
 	uCfg := core.StaticConfig(1)
 	uCfg.UserCS = true
-	user, ctrl, err := runUserCSApp(uCfg, true, dur)
+	var base, kern, user uint64
+	var ctrl *core.Controller
+	err := parallelDo(3, func(i int) error {
+		switch i {
+		case 0:
+			ops, _, err := runUserCSApp(offCfg, false, dur)
+			base = ops
+			return err
+		case 1:
+			ops, _, err := runUserCSApp(core.StaticConfig(1), false, dur)
+			kern = ops
+			return err
+		default:
+			ops, c, err := runUserCSApp(uCfg, true, dur)
+			user, ctrl = ops, c
+			return err
+		}
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -62,22 +62,52 @@ func (s *SweepResult) BestStatic() int {
 }
 
 // Sweep measures one workload pair across 0..maxCores static micro cores.
+// The points run concurrently through RunAll.
 func Sweep(app string, maxCores int, dur simtime.Duration) (*SweepResult, error) {
-	out := &SweepResult{Workload: app}
+	sweeps, err := sweepAll([]string{app}, maxCores, dur)
+	if err != nil {
+		return nil, err
+	}
+	return sweeps[0], nil
+}
+
+// sweepSetups builds the 0..maxCores static grid of one workload pair.
+func sweepSetups(app string, maxCores int, dur simtime.Duration) []Setup {
+	setups := make([]Setup, 0, maxCores+1)
 	for n := 0; n <= maxCores; n++ {
 		cc := core.StaticConfig(n)
 		if n == 0 {
 			cc.Mode = core.ModeOff
 		}
-		res, err := Run(corunSetup(app, cc, dur))
-		if err != nil {
-			return nil, err
+		setups = append(setups, corunSetup(app, cc, dur))
+	}
+	return setups
+}
+
+// sweepAll submits the whole (workload x #µcores) grid as one RunAll batch,
+// so scenario parallelism spans workloads as well as pool sizes.
+func sweepAll(apps []string, maxCores int, dur simtime.Duration) ([]*SweepResult, error) {
+	var setups []Setup
+	for _, app := range apps {
+		setups = append(setups, sweepSetups(app, maxCores, dur)...)
+	}
+	results, err := RunAll(setups)
+	if err != nil {
+		return nil, err
+	}
+	stride := maxCores + 1
+	out := make([]*SweepResult, len(apps))
+	for ai, app := range apps {
+		sr := &SweepResult{Workload: app}
+		for n := 0; n <= maxCores; n++ {
+			res := results[ai*stride+n]
+			sr.Points = append(sr.Points, SweepPoint{
+				MicroCores: n,
+				AppUnits:   res.VM(app).Units,
+				CoUnits:    res.VM("swaptions").Units,
+			})
 		}
-		out.Points = append(out.Points, SweepPoint{
-			MicroCores: n,
-			AppUnits:   res.VM(app).Units,
-			CoUnits:    res.VM("swaptions").Units,
-		})
+		out[ai] = sr
 	}
 	return out, nil
 }
@@ -94,15 +124,11 @@ var Figure4Workloads = []string{"gmake", "memclone", "dedup", "vips"}
 
 // Figure4 runs the Figure 4 sweep.
 func Figure4(dur simtime.Duration) (*Figure4Result, error) {
-	out := &Figure4Result{}
-	for _, app := range Figure4Workloads {
-		s, err := Sweep(app, MaxStaticCores, dur)
-		if err != nil {
-			return nil, err
-		}
-		out.Sweeps = append(out.Sweeps, s)
+	sweeps, err := sweepAll(Figure4Workloads, MaxStaticCores, dur)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Figure4Result{Sweeps: sweeps}, nil
 }
 
 // Render implements report.Renderer.
@@ -138,15 +164,11 @@ var Figure5Workloads = []string{"exim", "psearchy"}
 
 // Figure5 runs the Figure 5 sweep.
 func Figure5(dur simtime.Duration) (*Figure5Result, error) {
-	out := &Figure5Result{}
-	for _, app := range Figure5Workloads {
-		s, err := Sweep(app, MaxStaticCores, dur)
-		if err != nil {
-			return nil, err
-		}
-		out.Sweeps = append(out.Sweeps, s)
+	sweeps, err := sweepAll(Figure5Workloads, MaxStaticCores, dur)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Figure5Result{Sweeps: sweeps}, nil
 }
 
 // Render implements report.Renderer.
@@ -207,29 +229,32 @@ func Figure6(dur simtime.Duration, bests map[string]int) (*Figure6Result, error)
 	if bests == nil {
 		bests = DefaultStaticBest
 	}
-	out := &Figure6Result{}
+	nBestOf := func(app string) int {
+		if n := bests[app]; n > 0 {
+			return n
+		}
+		return 1
+	}
+	// Grid: (baseline, static-best, dynamic) per workload, one RunAll batch.
+	var setups []Setup
 	for _, app := range Figure6Workloads {
-		nBest := bests[app]
-		if nBest == 0 {
-			nBest = 1
-		}
-		base, err := Run(corunSetup(app, offConfig(), dur))
-		if err != nil {
-			return nil, err
-		}
-		static, err := Run(corunSetup(app, core.StaticConfig(nBest), dur))
-		if err != nil {
-			return nil, err
-		}
-		dynCfg := core.DefaultConfig()
-		dyn, err := Run(corunSetup(app, dynCfg, dur))
-		if err != nil {
-			return nil, err
-		}
+		setups = append(setups,
+			corunSetup(app, offConfig(), dur),
+			corunSetup(app, core.StaticConfig(nBestOf(app)), dur),
+			corunSetup(app, core.DefaultConfig(), dur),
+		)
+	}
+	results, err := RunAll(setups)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure6Result{}
+	for i, app := range Figure6Workloads {
+		base, static, dyn := results[3*i], results[3*i+1], results[3*i+2]
 		bu, bc := base.VM(app).Units, base.VM("swaptions").Units
 		out.Rows = append(out.Rows, Figure6Row{
 			Workload:      app,
-			StaticCores:   nBest,
+			StaticCores:   nBestOf(app),
 			StaticGain:    float64(static.VM(app).Units) / float64(bu),
 			DynamicGain:   float64(dyn.VM(app).Units) / float64(bu),
 			StaticCoTime:  float64(bc) / float64(static.VM("swaptions").Units),
@@ -277,29 +302,30 @@ func Figure7(dur simtime.Duration, bests map[string]int) (*Figure7Result, error)
 	if bests == nil {
 		bests = DefaultStaticBest
 	}
-	out := &Figure7Result{}
+	labels := [3]string{"B", "S", "D"}
+	var setups []Setup
 	for _, app := range Figure6Workloads {
 		nBest := bests[app]
 		if nBest == 0 {
 			nBest = 1
 		}
-		configs := []struct {
-			label string
-			cc    core.Config
-		}{
-			{"B", offConfig()},
-			{"S", core.StaticConfig(nBest)},
-			{"D", core.DefaultConfig()},
-		}
-		for _, c := range configs {
-			res, err := Run(corunSetup(app, c.cc, dur))
-			if err != nil {
-				return nil, err
-			}
+		setups = append(setups,
+			corunSetup(app, offConfig(), dur),
+			corunSetup(app, core.StaticConfig(nBest), dur),
+			corunSetup(app, core.DefaultConfig(), dur),
+		)
+	}
+	results, err := RunAll(setups)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure7Result{}
+	for i, app := range Figure6Workloads {
+		for j, label := range labels {
 			out.Rows = append(out.Rows, Figure7Row{
 				Workload: app,
-				Config:   c.label,
-				Yields:   res.VM(app).Yields,
+				Config:   label,
+				Yields:   results[3*i+j].VM(app).Yields,
 			})
 		}
 	}
@@ -353,16 +379,20 @@ var Figure8Workloads = []string{
 // Figure8 measures the dynamic mechanism's overhead on workloads that do
 // not exercise critical OS services.
 func Figure8(dur simtime.Duration) (*Figure8Result, error) {
-	out := &Figure8Result{}
+	var setups []Setup
 	for _, app := range Figure8Workloads {
-		base, err := Run(corunSetup(app, offConfig(), dur))
-		if err != nil {
-			return nil, err
-		}
-		dyn, err := Run(corunSetup(app, core.DefaultConfig(), dur))
-		if err != nil {
-			return nil, err
-		}
+		setups = append(setups,
+			corunSetup(app, offConfig(), dur),
+			corunSetup(app, core.DefaultConfig(), dur),
+		)
+	}
+	results, err := RunAll(setups)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure8Result{}
+	for i, app := range Figure8Workloads {
+		base, dyn := results[2*i], results[2*i+1]
 		out.Rows = append(out.Rows, Figure8Row{
 			Workload:     app,
 			NormExecTime: float64(base.VM(app).Units) / float64(dyn.VM(app).Units),

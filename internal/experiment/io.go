@@ -126,15 +126,23 @@ type Table4cResult struct {
 // Table4c measures iPerf (UDP) jitter and throughput solo vs mixed co-run
 // on the vanilla hypervisor.
 func Table4c(dur simtime.Duration) (*Table4cResult, error) {
-	solo, err := RunIO("udp", false, offConfig(), dur)
+	out := &Table4cResult{}
+	err := parallelDo(2, func(i int) error {
+		m, err := RunIO("udp", i == 1, offConfig(), dur)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			out.Solo = *m
+		} else {
+			out.Mixed = *m
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	mixed, err := RunIO("udp", true, offConfig(), dur)
-	if err != nil {
-		return nil, err
-	}
-	return &Table4cResult{Solo: *solo, Mixed: *mixed}, nil
+	return out, nil
 }
 
 // Render implements report.Renderer.
@@ -168,7 +176,7 @@ type Figure9Result struct {
 func Figure9(dur simtime.Duration) (*Figure9Result, error) {
 	micro := core.StaticConfig(1)
 	out := &Figure9Result{}
-	for _, v := range []struct {
+	grid := []struct {
 		dst   *IOMeasure
 		proto string
 		cc    core.Config
@@ -177,12 +185,17 @@ func Figure9(dur simtime.Duration) (*Figure9Result, error) {
 		{&out.BaselineUDP, "udp", offConfig()},
 		{&out.MicroTCP, "tcp", micro},
 		{&out.MicroUDP, "udp", micro},
-	} {
-		m, err := RunIO(v.proto, true, v.cc, dur)
+	}
+	err := parallelDo(len(grid), func(i int) error {
+		m, err := RunIO(grid[i].proto, true, grid[i].cc, dur)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		*v.dst = *m
+		*grid[i].dst = *m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -97,59 +97,76 @@ func Table1(dur simtime.Duration) (*Table1Result, error) {
 		{"usliced-dynamic", RivalNone, &dynamic},
 	}
 
-	out := &Table1Result{}
-	var baseLock, baseTLB, baseCo float64
-	var baseIO float64
-	for _, sys := range systems {
-		row := Table1Row{System: sys.name}
-
-		runOne := func(app string, tlb bool) (*Result, error) {
-			if sys.rival != RivalNone {
-				return runRivalCorun(app, sys.rival, dur)
+	// Each system contributes three independent measurements (lock, TLB,
+	// mixed I/O). Run the whole (system x scenario) grid on the worker pool
+	// and assemble the baseline-normalized rows serially afterwards.
+	runOne := func(sys sysCfg, app string, tlb bool) (*Result, error) {
+		if sys.rival != RivalNone {
+			return runRivalCorun(app, sys.rival, dur)
+		}
+		cc := offConfig()
+		if sys.cc != nil {
+			cc = *sys.cc
+			if tlb && sys.name == "usliced-static" {
+				cc = staticTLB
 			}
-			cc := offConfig()
-			if sys.cc != nil {
-				cc = *sys.cc
-				if tlb && sys.name == "usliced-static" {
-					cc = staticTLB
-				}
-			}
-			return Run(corunSetup(app, cc, dur))
 		}
-
-		lock, err := runOne("exim", false)
-		if err != nil {
-			return nil, err
-		}
-		tlbRes, err := runOne("dedup", true)
-		if err != nil {
-			return nil, err
-		}
-		var ioCC core.Config
-		switch {
-		case sys.rival != RivalNone:
-			ioCC = offConfig() // rival installed by RunIO below
-		case sys.cc != nil:
-			ioCC = *sys.cc
+		return Run(corunSetup(app, cc, dur))
+	}
+	type t1cell struct {
+		lock *Result
+		tlb  *Result
+		io   *IOMeasure
+	}
+	cells := make([]t1cell, len(systems))
+	err := parallelDo(3*len(systems), func(idx int) error {
+		sys := systems[idx/3]
+		cell := &cells[idx/3]
+		switch idx % 3 {
+		case 0:
+			r, err := runOne(sys, "exim", false)
+			cell.lock = r
+			return err
+		case 1:
+			r, err := runOne(sys, "dedup", true)
+			cell.tlb = r
+			return err
 		default:
-			ioCC = offConfig()
+			var ioCC core.Config
+			switch {
+			case sys.rival != RivalNone:
+				ioCC = offConfig() // rival installed by RunIORival itself
+			case sys.cc != nil:
+				ioCC = *sys.cc
+			default:
+				ioCC = offConfig()
+			}
+			m, err := RunIORival("tcp", true, ioCC, sys.rival, dur)
+			cell.io = m
+			return err
 		}
-		ioRes, err := RunIORival("tcp", true, ioCC, sys.rival, dur)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		lockUnits := float64(lock.VM("exim").Units)
-		tlbUnits := float64(tlbRes.VM("dedup").Units)
-		coUnits := float64(lock.VM("swaptions").Units)
+	out := &Table1Result{}
+	var baseLock, baseTLB, baseCo, baseIO float64
+	for i, sys := range systems {
+		cell := cells[i]
+		lockUnits := float64(cell.lock.VM("exim").Units)
+		tlbUnits := float64(cell.tlb.VM("dedup").Units)
+		coUnits := float64(cell.lock.VM("swaptions").Units)
 		if sys.name == "baseline" {
-			baseLock, baseTLB, baseCo, baseIO = lockUnits, tlbUnits, coUnits, ioRes.Mbps
+			baseLock, baseTLB, baseCo, baseIO = lockUnits, tlbUnits, coUnits, cell.io.Mbps
 		}
-		row.LockGain = lockUnits / baseLock
-		row.TLBGain = tlbUnits / baseTLB
-		row.MixedIOGain = ioRes.Mbps / baseIO
-		row.CoRunnerCost = baseCo / coUnits
-		out.Rows = append(out.Rows, row)
+		out.Rows = append(out.Rows, Table1Row{
+			System:       sys.name,
+			LockGain:     lockUnits / baseLock,
+			TLBGain:      tlbUnits / baseTLB,
+			MixedIOGain:  cell.io.Mbps / baseIO,
+			CoRunnerCost: baseCo / coUnits,
+		})
 	}
 	return out, nil
 }

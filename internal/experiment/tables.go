@@ -31,16 +31,18 @@ type Table2Result struct {
 // Table2 measures yield counts solo vs co-run (with swaptions) for the
 // paper's four workloads.
 func Table2(dur simtime.Duration) (*Table2Result, error) {
+	apps := []string{"exim", "gmake", "dedup", "vips"}
+	var setups []Setup
+	for _, app := range apps {
+		setups = append(setups, soloSetup(app, dur), corunSetup(app, offConfig(), dur))
+	}
+	results, err := RunAll(setups)
+	if err != nil {
+		return nil, err
+	}
 	res := &Table2Result{Duration: dur}
-	for _, app := range []string{"exim", "gmake", "dedup", "vips"} {
-		solo, err := Run(soloSetup(app, dur))
-		if err != nil {
-			return nil, err
-		}
-		co, err := Run(corunSetup(app, offConfig(), dur))
-		if err != nil {
-			return nil, err
-		}
+	for i, app := range apps {
+		solo, co := results[2*i], results[2*i+1]
 		res.Rows = append(res.Rows, Table2Row{
 			Workload: app,
 			Solo:     solo.VM(app).Yields.Total(),
@@ -91,12 +93,17 @@ type Table3Result struct {
 // Table3 runs the lock- and TLB-bound co-run scenarios with detection on
 // and tallies the critical symbols observed.
 func Table3(dur simtime.Duration) (*Table3Result, error) {
+	apps := []string{"exim", "gmake", "dedup", "vips"}
+	setups := make([]Setup, len(apps))
+	for i, app := range apps {
+		setups[i] = corunSetup(app, core.StaticConfig(1), dur)
+	}
+	results, err := RunAll(setups)
+	if err != nil {
+		return nil, err
+	}
 	hits := map[string]uint64{}
-	for _, app := range []string{"exim", "gmake", "dedup", "vips"} {
-		res, err := Run(corunSetup(app, core.StaticConfig(1), dur))
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		for name, n := range res.SymbolHits {
 			hits[name] += n
 		}
@@ -147,14 +154,14 @@ type Table4aResult struct {
 // Table4a measures average spinlock waiting time per kernel component for
 // gmake, solo vs co-run.
 func Table4a(dur simtime.Duration) (*Table4aResult, error) {
-	solo, err := Run(soloSetup("gmake", dur))
+	results, err := RunAll([]Setup{
+		soloSetup("gmake", dur),
+		corunSetup("gmake", offConfig(), dur),
+	})
 	if err != nil {
 		return nil, err
 	}
-	co, err := Run(corunSetup("gmake", offConfig(), dur))
-	if err != nil {
-		return nil, err
-	}
+	solo, co := results[0], results[1]
 	out := &Table4aResult{}
 	classes := make(map[string]bool)
 	for c := range solo.VM("gmake").LockStat {
@@ -215,20 +222,21 @@ type Table4bResult struct {
 // Table4b measures TLB synchronization latency for dedup and vips, solo vs
 // co-run.
 func Table4b(dur simtime.Duration) (*Table4bResult, error) {
+	apps := []string{"dedup", "vips"}
+	var setups []Setup
+	for _, app := range apps {
+		setups = append(setups, soloSetup(app, dur), corunSetup(app, offConfig(), dur))
+	}
+	results, err := RunAll(setups)
+	if err != nil {
+		return nil, err
+	}
 	out := &Table4bResult{}
-	for _, app := range []string{"dedup", "vips"} {
-		solo, err := Run(soloSetup(app, dur))
-		if err != nil {
-			return nil, err
-		}
-		co, err := Run(corunSetup(app, offConfig(), dur))
-		if err != nil {
-			return nil, err
-		}
+	for i, app := range apps {
 		for _, v := range []struct {
 			cfg string
 			res *Result
-		}{{"solo", solo}, {"co-run", co}} {
+		}{{"solo", results[2*i]}, {"co-run", results[2*i+1]}} {
 			h := v.res.VM(app).TLB
 			out.Rows = append(out.Rows, Table4bRow{
 				Workload: app,

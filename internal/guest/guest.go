@@ -214,12 +214,21 @@ func (k *Kernel) Lock(name, class, bodyFn string) *SpinLock {
 		name:  name,
 		class: class,
 		body:  k.Sym.InnerAddr(bodyFn),
+		stat:  k.lockStat(class),
 	}
 	k.locks[name] = l
-	if _, ok := k.LockStat[class]; !ok {
-		k.LockStat[class] = metrics.NewHistogram(8)
-	}
 	return l
+}
+
+// lockStat returns the interned LockStat histogram for a class, creating it
+// on first use.
+func (k *Kernel) lockStat(class string) *metrics.Histogram {
+	h, ok := k.LockStat[class]
+	if !ok {
+		h = metrics.NewHistogram(8)
+		k.LockStat[class] = h
+	}
+	return h
 }
 
 // UserCSBase is where synthetic user-level critical regions are laid out.
@@ -244,12 +253,10 @@ func (k *Kernel) UserLock(name, class string) *SpinLock {
 		class: class,
 		body:  lo + 16,
 		user:  true,
+		stat:  k.lockStat(class),
 	}
 	k.locks[name] = l
 	k.userRegions = append(k.userRegions, ksym.UserRegion{Name: name, Lo: lo, Hi: lo + 0x10000})
-	if _, ok := k.LockStat[class]; !ok {
-		k.LockStat[class] = metrics.NewHistogram(8)
-	}
 	return l
 }
 

@@ -1,6 +1,9 @@
 package guest
 
-import "github.com/microslicedcore/microsliced/internal/simtime"
+import (
+	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
 
 // SpinLock models a Linux qspinlock: the fast path acquires an uncontended
 // lock immediately; contended waiters queue FIFO and spin on their own
@@ -30,6 +33,10 @@ type SpinLock struct {
 
 	holder  *Thread
 	waiters []*Thread
+
+	// stat is the interned LockStat[class] histogram, resolved at lock
+	// construction so the contended-release path skips the map lookup.
+	stat *metrics.Histogram
 
 	Acquisitions uint64
 	Contended    uint64
@@ -83,7 +90,7 @@ func (l *SpinLock) release(t *Thread, now simtime.Time) {
 		l.waiters = l.waiters[1:]
 		l.holder = w
 		l.Acquisitions++
-		l.k.LockStat[l.class].Observe(int64(now - w.spinStart))
+		l.stat.Observe(int64(now - w.spinStart))
 		w.ph = phaseGranted
 		l.k.wakeThreadFrom(t.vc, w)
 		return
@@ -99,6 +106,6 @@ func (l *SpinLock) release(t *Thread, now simtime.Time) {
 	l.waiters = append(l.waiters[:idx], l.waiters[idx+1:]...)
 	l.holder = w
 	l.Acquisitions++
-	l.k.LockStat[l.class].Observe(int64(now - w.spinStart))
+	l.stat.Observe(int64(now - w.spinStart))
 	w.granted(now)
 }

@@ -294,6 +294,19 @@ type Domain struct {
 	// hypervisor (paper §4.4). The detector parses it; the hypervisor
 	// proper never looks inside.
 	SymbolMap []byte
+
+	hot domHot // interned per-domain counters for the per-event paths
+}
+
+// domHot holds the per-domain counters incremented on every yield, IPI and
+// IRQ, resolved once in NewDomain so the hot paths never hash a name.
+type domHot struct {
+	yieldBy     [4]*metrics.Counter // indexed by YieldReason
+	yieldTotal  *metrics.Counter
+	vipiSent    *metrics.Counter
+	virqSent    *metrics.Counter
+	irqDeferred *metrics.Counter
+	migrMicro   *metrics.Counter
 }
 
 // PCPU is a physical CPU.
@@ -367,8 +380,31 @@ type Hypervisor struct {
 	domains []*Domain
 	vcpus   []*VCPU
 
+	hot hvHot // interned hypervisor-wide counters for the per-event paths
+
 	started bool
 }
+
+// hvHot holds the hypervisor-wide counters incremented per scheduling event,
+// resolved once in New. Cold paths (pool resizing, error cases) keep using
+// the string-keyed Counters registry via count().
+type hvHot struct {
+	yieldBy     [4]*metrics.Counter // indexed by YieldReason
+	yieldTotal  *metrics.Counter
+	dispatch    *metrics.Counter
+	steal       *metrics.Counter
+	preempt     *metrics.Counter
+	boost       *metrics.Counter
+	vipiSent    *metrics.Counter
+	virqSent    *metrics.Counter
+	pirq        *metrics.Counter
+	irqDeferred *metrics.Counter
+	migrMicro   *metrics.Counter
+	migrHome    *metrics.Counter
+}
+
+// yieldName maps a YieldReason to its counter name (matches YieldReason.String).
+var yieldName = [4]string{"yield.ple", "yield.ipi", "yield.halt", "yield.other"}
 
 // New constructs a hypervisor. All pCPUs start in the normal pool; the
 // micro pool starts empty and is grown via GrowMicro (adaptive mode) or
@@ -398,6 +434,20 @@ func New(clock *simtime.Clock, cfg Config) *Hypervisor {
 		h.pcpus = append(h.pcpus, p)
 		h.normal.pcpus = append(h.normal.pcpus, p)
 	}
+	for r := range yieldName {
+		h.hot.yieldBy[r] = h.Counters.Handle(yieldName[r])
+	}
+	h.hot.yieldTotal = h.Counters.Handle("yield.total")
+	h.hot.dispatch = h.Counters.Handle("sched.dispatch")
+	h.hot.steal = h.Counters.Handle("sched.steal")
+	h.hot.preempt = h.Counters.Handle("sched.preempt")
+	h.hot.boost = h.Counters.Handle("boost")
+	h.hot.vipiSent = h.Counters.Handle("vipi.sent")
+	h.hot.virqSent = h.Counters.Handle("virq.sent")
+	h.hot.pirq = h.Counters.Handle("pirq")
+	h.hot.irqDeferred = h.Counters.Handle("irq.deferred")
+	h.hot.migrMicro = h.Counters.Handle("migrate.micro")
+	h.hot.migrHome = h.Counters.Handle("migrate.home")
 	return h
 }
 
@@ -428,6 +478,14 @@ func (h *Hypervisor) NewDomain(name string, symbolMap []byte) *Domain {
 		Counters:  metrics.NewSet(),
 		SymbolMap: symbolMap,
 	}
+	for r := range yieldName {
+		d.hot.yieldBy[r] = d.Counters.Handle(yieldName[r])
+	}
+	d.hot.yieldTotal = d.Counters.Handle("yield.total")
+	d.hot.vipiSent = d.Counters.Handle("vipi.sent")
+	d.hot.virqSent = d.Counters.Handle("virq.sent")
+	d.hot.irqDeferred = d.Counters.Handle("irq.deferred")
+	d.hot.migrMicro = d.Counters.Handle("migrate.micro")
 	h.domains = append(h.domains, d)
 	return d
 }

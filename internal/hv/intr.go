@@ -19,8 +19,8 @@ func (h *Hypervisor) SendVIPI(src, dst *VCPU, vec Vector, data uint64) {
 	if src.Dom != dst.Dom {
 		panic(fmt.Sprintf("hv: cross-domain IPI %v -> %v", src, dst))
 	}
-	h.count("vipi.sent")
-	src.Dom.Counters.Counter("vipi.sent").Inc()
+	h.hot.vipiSent.Inc()
+	src.Dom.hot.vipiSent.Inc()
 	h.emit(trace.KindVIPI, src, uint64(vec), uint64(dst.Idx))
 	if h.Hooks.OnVIPIRelay != nil {
 		h.Hooks.OnVIPIRelay(src, dst, vec)
@@ -32,7 +32,7 @@ func (h *Hypervisor) SendVIPI(src, dst *VCPU, vec Vector, data uint64) {
 // interrupt arrives. The hypervisor spends PIRQCost handling the VMEXIT and
 // then forwards a virtual IRQ to the domain's designated IRQ vCPU.
 func (h *Hypervisor) InjectPIRQ(d *Domain, vec Vector, data uint64) {
-	h.count("pirq")
+	h.hot.pirq.Inc()
 	h.emit(trace.KindPIRQ, nil, uint64(vec), uint64(d.ID))
 	h.Clock.AfterLabeled(h.Cfg.PIRQCost, "pirq", func() {
 		if d.IRQVCPU < 0 || d.IRQVCPU >= len(d.VCPUs) {
@@ -40,8 +40,8 @@ func (h *Hypervisor) InjectPIRQ(d *Domain, vec Vector, data uint64) {
 		}
 		target := d.VCPUs[d.IRQVCPU]
 		target.virqRecv++
-		h.count("virq.sent")
-		d.Counters.Counter("virq.sent").Inc()
+		h.hot.virqSent.Inc()
+		d.hot.virqSent.Inc()
 		h.emit(trace.KindVIRQ, target, uint64(vec), 0)
 		if h.Hooks.OnVIRQRelay != nil {
 			h.Hooks.OnVIRQRelay(target)
@@ -55,12 +55,12 @@ func (h *Hypervisor) InjectPIRQ(d *Domain, vec Vector, data uint64) {
 // CPU) — applying the same hypervisor handling cost and relay hook as
 // InjectPIRQ.
 func (h *Hypervisor) InjectPIRQTo(target *VCPU, vec Vector, data uint64) {
-	h.count("pirq")
+	h.hot.pirq.Inc()
 	h.emit(trace.KindPIRQ, target, uint64(vec), uint64(target.DomID))
 	h.Clock.AfterLabeled(h.Cfg.PIRQCost, "pirq", func() {
 		target.virqRecv++
-		h.count("virq.sent")
-		target.Dom.Counters.Counter("virq.sent").Inc()
+		h.hot.virqSent.Inc()
+		target.Dom.hot.virqSent.Inc()
 		h.emit(trace.KindVIRQ, target, uint64(vec), 0)
 		if h.Hooks.OnVIRQRelay != nil {
 			h.Hooks.OnVIRQRelay(target)
@@ -82,8 +82,8 @@ func (h *Hypervisor) deliver(dst *VCPU, vec Vector, data uint64) {
 	case StateRunnable:
 		// The VTD case: the interrupt sits until the next scheduling turn.
 		dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data})
-		h.count("irq.deferred")
-		dst.Dom.Counters.Counter("irq.deferred").Inc()
+		h.hot.irqDeferred.Inc()
+		dst.Dom.hot.irqDeferred.Inc()
 	}
 }
 

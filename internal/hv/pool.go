@@ -48,8 +48,8 @@ func (h *Hypervisor) MigrateToMicro(v *VCPU) bool {
 	v.state = StateRunnable
 	v.pool = h.micro
 	v.microVisits++
-	h.count("migrate.micro")
-	v.Dom.Counters.Counter("migrate.micro").Inc()
+	h.hot.migrMicro.Inc()
+	v.Dom.hot.migrMicro.Inc()
 	h.emit(trace.KindMigrate, v, 0, 0)
 	if idle != nil {
 		h.dispatch(idle, v)
@@ -65,7 +65,7 @@ func (h *Hypervisor) migrateHome(v *VCPU) {
 		panic(fmt.Sprintf("hv: migrateHome of %v", v))
 	}
 	v.pool = v.homePool
-	h.count("migrate.home")
+	h.hot.migrHome.Inc()
 	h.emit(trace.KindMigrate, v, 1, 0)
 	p := h.homePCPU(v)
 	h.enqueue(p, v)

@@ -161,7 +161,7 @@ func (h *Hypervisor) pickNext(p *PCPU) *VCPU {
 		}
 		if best != nil {
 			h.dequeue(best)
-			h.count("sched.steal")
+			h.hot.steal.Inc()
 			return best
 		}
 	}
@@ -187,7 +187,7 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 	v.pcpu = p
 	v.lastPCPU = p.ID
 	p.cur = v
-	h.count("sched.dispatch")
+	h.hot.dispatch.Inc()
 	h.emit(trace.KindSchedule, v, uint64(v.prio), 0)
 
 	slice := p.pool.Slice
@@ -285,7 +285,7 @@ func (h *Hypervisor) sliceExpired(p *PCPU, v *VCPU) {
 		return // stale timer (should have been cancelled)
 	}
 	p.sliceEv = nil
-	h.count("sched.preempt")
+	h.hot.preempt.Inc()
 	h.emit(trace.KindPreempt, v, 0, 0)
 	h.descheduleCurrent(p)
 	v.state = StateRunnable
@@ -330,7 +330,7 @@ func (h *Hypervisor) Block(v *VCPU) {
 	if v.pool.ReturnHome && v.pool != v.homePool {
 		// Leaving the micro pool: the vCPU simply belongs home again.
 		v.pool = v.homePool
-		h.count("migrate.home")
+		h.hot.migrHome.Inc()
 		h.emit(trace.KindMigrate, v, 1, 0)
 	}
 	h.schedule(p)
@@ -349,7 +349,7 @@ func (h *Hypervisor) Wake(v *VCPU, boost bool) {
 	if boost && h.Cfg.BoostEnabled && !v.pool.NoBoost {
 		v.prio = PrioBoost
 		v.boosted = true
-		h.count("boost")
+		h.hot.boost.Inc()
 		h.emit(trace.KindBoost, v, 0, 0)
 	}
 	h.emit(trace.KindWake, v, 0, 0)
@@ -380,14 +380,16 @@ func (h *Hypervisor) tickle(p *PCPU) {
 }
 
 func (h *Hypervisor) countYield(v *VCPU, reason YieldReason) {
-	if int(reason) < len(v.yieldsBy) {
-		v.yieldsBy[reason]++
+	r := int(reason)
+	if r < len(v.yieldsBy) {
+		v.yieldsBy[r]++
+	} else {
+		r = int(YieldOther) // matches YieldReason.String's fallback
 	}
-	name := "yield." + reason.String()
-	h.Counters.Counter(name).Inc()
-	h.Counters.Counter("yield.total").Inc()
-	v.Dom.Counters.Counter(name).Inc()
-	v.Dom.Counters.Counter("yield.total").Inc()
+	h.hot.yieldBy[r].Inc()
+	h.hot.yieldTotal.Inc()
+	v.Dom.hot.yieldBy[r].Inc()
+	v.Dom.hot.yieldTotal.Inc()
 }
 
 // ---------------------------------------------------------------------------

@@ -352,6 +352,14 @@ func (s *Set) Counter(name string) *Counter {
 	return c
 }
 
+// Handle returns an interned *Counter for name, creating it on first use.
+// It is the documented accessor for hot paths: resolve the handle once at
+// construction time and call Inc/Add on it directly, so the steady state
+// pays no map lookup or string hashing per increment.
+func (s *Set) Handle(name string) *Counter {
+	return s.Counter(name)
+}
+
 // Value returns the value of a named counter (0 if absent).
 func (s *Set) Value(name string) uint64 {
 	if c, ok := s.counters[name]; ok {

@@ -311,3 +311,39 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(int64(i % 1000000))
 	}
 }
+
+func TestHandleIsInterned(t *testing.T) {
+	s := NewSet()
+	h := s.Handle("x")
+	h.Inc()
+	h.Add(2)
+	if s.Value("x") != 3 {
+		t.Fatalf("Value(x)=%d, want 3", s.Value("x"))
+	}
+	if s.Handle("x") != h || s.Counter("x") != h {
+		t.Fatal("Handle/Counter did not return the interned counter")
+	}
+}
+
+// BenchmarkCounterInc is the regression check for the interned-handle path:
+// incrementing through a resolved *Counter must not allocate or touch the
+// registry map.
+func BenchmarkCounterInc(b *testing.B) {
+	s := NewSet()
+	h := s.Handle("yield.total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Inc()
+	}
+}
+
+// BenchmarkCounterLookupInc measures the string-keyed path the hot loops
+// used before interning, for comparison in bench reports.
+func BenchmarkCounterLookupInc(b *testing.B) {
+	s := NewSet()
+	s.Counter("yield.total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Counter("yield.total").Inc()
+	}
+}

@@ -162,15 +162,95 @@ func TestNilCallbackPanics(t *testing.T) {
 	c.At(1, nil)
 }
 
-func TestNegativeAfterClampsToNow(t *testing.T) {
+func TestNegativeAfterPanics(t *testing.T) {
+	c := NewClock()
+	c.After(10, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	c.After(-5, func() {})
+}
+
+func TestNegativeAfterLabeledPanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative AfterLabeled did not panic")
+		}
+	}()
+	c.AfterLabeled(-1, "bad", func() {})
+}
+
+func TestZeroAfterFiresAtNow(t *testing.T) {
 	c := NewClock()
 	c.After(10, func() {})
 	c.Run()
 	fireAt := Time(-1)
-	c.After(-5, func() { fireAt = c.Now() })
+	c.After(0, func() { fireAt = c.Now() })
 	c.Run()
 	if fireAt != 10 {
-		t.Fatalf("negative After fired at %v, want now (10)", fireAt)
+		t.Fatalf("zero-duration After fired at %v, want now (10)", fireAt)
+	}
+}
+
+// Fired and cancelled events are recycled; stale handles must stay inert and
+// reuse must not leak state (label, callback) between generations.
+func TestEventRecycling(t *testing.T) {
+	c := NewClock()
+	ev1 := c.AfterLabeled(1, "first", func() {})
+	c.Run()
+	if ev1.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	if ev1.Cancel() {
+		t.Fatal("Cancel of a recycled event returned true")
+	}
+	// The next schedule reuses the same Event object but must behave fresh.
+	fired := false
+	ev2 := c.After(5, func() { fired = true })
+	if ev2 != ev1 {
+		t.Fatal("expected the free list to recycle the fired event")
+	}
+	if !ev2.Pending() {
+		t.Fatal("recycled event not pending after reschedule")
+	}
+	// A stale Cancel through the old handle aliases the new event by design;
+	// the lifetime rule says holders must have dropped ev1 by now. What must
+	// hold is that cancelling and rescheduling keeps the queue consistent.
+	if !ev2.Cancel() {
+		t.Fatal("Cancel of rescheduled event returned false")
+	}
+	c.Run()
+	if fired {
+		t.Fatal("cancelled recycled event fired")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("%d events pending, want 0", c.Pending())
+	}
+}
+
+// A Cancel during another event's callback must not corrupt the heap, and a
+// stale Cancel of the currently firing event must be a no-op (the firing
+// event is recycled only after its callback returns).
+func TestCancelDuringCallback(t *testing.T) {
+	c := NewClock()
+	var later *Event
+	var firing *Event
+	otherFired := false
+	firing = c.After(1, func() {
+		later.Cancel()
+		if firing.Cancel() {
+			t.Error("Cancel of the event being fired returned true")
+		}
+	})
+	later = c.After(2, func() { otherFired = true })
+	c.After(3, func() {})
+	c.Run()
+	if otherFired {
+		t.Fatal("event cancelled from a callback still fired")
 	}
 }
 
@@ -318,5 +398,40 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.After(Duration(r.Intn(1000)), func() {})
 		c.Step()
+	}
+}
+
+// BenchmarkClockScheduleFire is the regression check for the allocation-free
+// steady state: a warm clock with a standing population of pending events
+// must schedule and fire without allocating (free list + monomorphic heap).
+func BenchmarkClockScheduleFire(b *testing.B) {
+	c := NewClock()
+	r := rand.New(rand.NewSource(1))
+	fn := func() {}
+	// Warm a standing queue so heap operations exercise real depth, and warm
+	// the free list past its growth phase.
+	const standing = 256
+	for i := 0; i < standing; i++ {
+		c.After(Duration(r.Intn(1000)+1), fn)
+	}
+	for i := 0; i < standing; i++ {
+		c.After(Duration(r.Intn(1000)+1), fn)
+		c.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.After(Duration(r.Intn(1000)+1), fn)
+		c.Step()
+	}
+}
+
+func BenchmarkClockScheduleCancel(b *testing.B) {
+	c := NewClock()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := c.After(Duration(i%1000+1), fn)
+		ev.Cancel()
 	}
 }
