@@ -6,6 +6,7 @@ import (
 
 	"github.com/microslicedcore/microsliced/internal/core"
 	"github.com/microslicedcore/microsliced/internal/experiment"
+	"github.com/microslicedcore/microsliced/internal/fault"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/workload"
 )
@@ -56,6 +57,134 @@ type Scenario struct {
 	// Rival replaces the paper's mechanism with a prior-work system:
 	// "cosched", "fixed-usliced", "vturbo" or "vtrs" (Mode must be Off).
 	Rival string
+	// Faults, when non-nil, injects the configured deterministic faults.
+	// Fault runs automatically arm the invariant auditor.
+	Faults *FaultPlan
+	// Audit arms the scheduler invariant auditor even without faults;
+	// whatever it finds lands in Results.InvariantViolations.
+	Audit bool
+}
+
+// FaultPlan configures seeded, deterministic fault injection: the same
+// plan on the same scenario always reproduces identical results. The zero
+// value injects nothing.
+type FaultPlan struct {
+	// Seed seeds the fault plan's RNG streams.
+	Seed uint64
+	// OfflinePCPUs hot-unplugs this many pCPUs mid-run and brings them
+	// back later; the scheduler and micro-pool controller must rebalance.
+	OfflinePCPUs int
+	// IPIDelayProb delays a virtual IPI with this probability by up to
+	// IPIDelayMaxUs microseconds.
+	IPIDelayProb  float64
+	IPIDelayMaxUs float64
+	// IPIDropProb drops an IPI delivery attempt with this probability
+	// (dropped IPIs are retried with bounded backoff, never lost).
+	IPIDropProb float64
+	// TickJitterUs perturbs scheduler ticks by up to ±TickJitterUs
+	// microseconds.
+	TickJitterUs float64
+	// LockStallProb amplifies a guest critical section with this
+	// probability by LockStallFactor.
+	LockStallProb   float64
+	LockStallFactor float64
+}
+
+func (f *FaultPlan) toConfig() fault.Config {
+	return fault.Config{
+		Seed:            f.Seed,
+		OfflinePCPUs:    f.OfflinePCPUs,
+		IPIDelayProb:    f.IPIDelayProb,
+		IPIDelayMax:     simtime.Duration(f.IPIDelayMaxUs * float64(simtime.Microsecond)),
+		IPIDropProb:     f.IPIDropProb,
+		TickJitter:      simtime.Duration(f.TickJitterUs * float64(simtime.Microsecond)),
+		LockStallProb:   f.LockStallProb,
+		LockStallFactor: f.LockStallFactor,
+	}
+}
+
+// ScenarioError reports an invalid Scenario field.
+type ScenarioError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ScenarioError) Error() string {
+	return fmt.Sprintf("microsliced: invalid scenario: %s: %s", e.Field, e.Reason)
+}
+
+// rivalNames are the accepted Scenario.Rival values.
+var rivalNames = map[string]bool{
+	"fixed-usliced": true, "vturbo": true, "vtrs": true, "cosched": true,
+}
+
+// Validate checks the scenario without running it, returning a
+// *ScenarioError describing the first problem found (nil if valid).
+func (s Scenario) Validate() error {
+	if len(s.VMs) == 0 {
+		return &ScenarioError{Field: "VMs", Reason: "scenario has no VMs"}
+	}
+	if s.PCPUs < 0 {
+		return &ScenarioError{Field: "PCPUs", Reason: fmt.Sprintf("%d is negative", s.PCPUs)}
+	}
+	if s.Seconds < 0 {
+		return &ScenarioError{Field: "Seconds", Reason: fmt.Sprintf("%v is negative", s.Seconds)}
+	}
+	for i, vm := range s.VMs {
+		if vm.VCPUs < 0 {
+			return &ScenarioError{
+				Field:  fmt.Sprintf("VMs[%d].VCPUs", i),
+				Reason: fmt.Sprintf("%d is negative (0 selects the default)", vm.VCPUs),
+			}
+		}
+		if !workload.Known(vm.App) {
+			return &ScenarioError{
+				Field:  fmt.Sprintf("VMs[%d].App", i),
+				Reason: fmt.Sprintf("unknown application %q (have %v)", vm.App, workload.Catalog()),
+			}
+		}
+	}
+	pcpus := s.PCPUs
+	if pcpus == 0 {
+		pcpus = experiment.DefaultPCPUs
+	}
+	switch s.Mode {
+	case Off, Static, Dynamic, "":
+	default:
+		return &ScenarioError{Field: "Mode", Reason: fmt.Sprintf("unknown mode %q", s.Mode)}
+	}
+	if s.StaticCores < 0 {
+		return &ScenarioError{Field: "StaticCores", Reason: fmt.Sprintf("%d is negative", s.StaticCores)}
+	}
+	if s.StaticCores > pcpus {
+		return &ScenarioError{
+			Field:  "StaticCores",
+			Reason: fmt.Sprintf("%d exceeds the host's %d pCPUs", s.StaticCores, pcpus),
+		}
+	}
+	if s.Rival != "" {
+		if !rivalNames[s.Rival] {
+			return &ScenarioError{Field: "Rival", Reason: fmt.Sprintf("unknown rival %q", s.Rival)}
+		}
+		if s.Mode != Off && s.Mode != "" {
+			return &ScenarioError{
+				Field:  "Rival",
+				Reason: fmt.Sprintf("rival %q requires Mode == Off, got %q", s.Rival, s.Mode),
+			}
+		}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.toConfig().Validate(); err != nil {
+			return &ScenarioError{Field: "Faults", Reason: err.Error()}
+		}
+		if s.Faults.OfflinePCPUs > pcpus-1 {
+			return &ScenarioError{
+				Field:  "Faults.OfflinePCPUs",
+				Reason: fmt.Sprintf("%d leaves no core online (host has %d pCPUs)", s.Faults.OfflinePCPUs, pcpus),
+			}
+		}
+	}
+	return nil
 }
 
 // VMStats is one VM's outcome.
@@ -95,6 +224,12 @@ type Results struct {
 	// CriticalSymbolHits histograms the critical kernel symbols observed
 	// at preempted vCPUs' instruction pointers.
 	CriticalSymbolHits map[string]uint64
+	// InvariantViolations lists what the scheduler auditor found (empty
+	// unless Scenario.Audit or fault injection was enabled; always empty
+	// on a healthy scheduler).
+	InvariantViolations []string
+	// FaultErrors lists injected faults the hypervisor refused to apply.
+	FaultErrors []string
 }
 
 // VM returns the stats of the named VM (nil if absent).
@@ -114,10 +249,14 @@ func Workloads() []string { return workload.Catalog() }
 // Runs are deterministic: the same scenario always produces the same
 // results.
 func Simulate(s Scenario) (*Results, error) {
-	if len(s.VMs) == 0 {
-		return nil, fmt.Errorf("microsliced: scenario has no VMs")
+	if err := s.Validate(); err != nil {
+		return nil, err
 	}
-	setup := experiment.Setup{PCPUs: s.PCPUs}
+	setup := experiment.Setup{PCPUs: s.PCPUs, Audit: s.Audit}
+	if s.Faults != nil {
+		fc := s.Faults.toConfig()
+		setup.Faults = &fc
+	}
 	if s.Seconds > 0 {
 		setup.Duration = simtime.Duration(s.Seconds * float64(simtime.Second))
 	}
@@ -166,6 +305,10 @@ func Simulate(s Scenario) (*Results, error) {
 		HypervisorCounters: res.HV,
 		DetectorCounters:   res.Core,
 		CriticalSymbolHits: res.SymbolHits,
+		FaultErrors:        res.FaultErrs,
+	}
+	for i := range res.Violations {
+		out.InvariantViolations = append(out.InvariantViolations, res.Violations[i].Error())
 	}
 	for _, vm := range res.VMs {
 		st := VMStats{

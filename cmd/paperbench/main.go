@@ -17,10 +17,11 @@ import (
 
 func main() {
 	var (
-		runs = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs or 'all'")
-		secs = flag.Float64("seconds", 3, "simulated seconds per run")
-		par  = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS, 1 = serial)")
-		prof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		runs   = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs,faultsweep or 'all'")
+		secs   = flag.Float64("seconds", 3, "simulated seconds per run")
+		par    = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS, 1 = serial)")
+		prof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		faults = flag.Bool("faults", false, "also run the fault-injection sweep (shorthand for adding faultsweep to -run)")
 	)
 	flag.Parse()
 	experiment.SetParallelism(*par)
@@ -43,7 +44,16 @@ func main() {
 		want[strings.TrimSpace(r)] = true
 	}
 	all := want["all"]
-	sel := func(name string) bool { return all || want[name] }
+	if *faults {
+		want["faultsweep"] = true
+	}
+	// The fault sweep is opt-in: "all" means the paper's artefacts.
+	sel := func(name string) bool {
+		if name == "faultsweep" {
+			return want[name]
+		}
+		return all || want[name]
+	}
 
 	type job struct {
 		name string
@@ -88,6 +98,7 @@ func main() {
 		{"fig8", func() (report.Renderer, error) { return experiment.Figure8(dur) }},
 		{"fig9", func() (report.Renderer, error) { return experiment.Figure9(dur) }},
 		{"ext-usercs", func() (report.Renderer, error) { return experiment.ExtensionUserCS(dur) }},
+		{"faultsweep", func() (report.Renderer, error) { return experiment.FaultSweep(dur) }},
 	}
 	start := time.Now()
 	for _, j := range jobs {

@@ -7,8 +7,10 @@ package experiment
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"github.com/microslicedcore/microsliced/internal/core"
+	"github.com/microslicedcore/microsliced/internal/fault"
 	"github.com/microslicedcore/microsliced/internal/guest"
 	"github.com/microslicedcore/microsliced/internal/hv"
 	"github.com/microslicedcore/microsliced/internal/ksym"
@@ -51,7 +53,19 @@ type Setup struct {
 	// Rival, when set, installs a prior-work system (internal/rivals) in
 	// place of the paper's mechanism; Core should be ModeOff.
 	Rival Rival
+	// Faults, when non-nil and enabled, injects the configured
+	// deterministic faults (internal/fault) into the run.
+	Faults *fault.Config
+	// Audit arms the scheduler invariant auditor; violations land in
+	// Result.Violations. Enabled automatically when Faults are active.
+	Audit bool
 }
+
+// watchdogLimit is the livelock threshold: this many consecutive events at
+// an unchanged virtual time means the event loop is spinning without
+// progress. Real runs stay orders of magnitude below it (a full 12-pCPU
+// scheduling round at one instant is tens of events).
+const watchdogLimit = 1_000_000
 
 // VMResult carries one VM's measurements.
 type VMResult struct {
@@ -62,6 +76,9 @@ type VMResult struct {
 	TLB      *metrics.Histogram
 	LockStat map[string]*metrics.Histogram
 	RanTotal simtime.Duration
+	// VCPURan is each vCPU's execution time — the per-vCPU progress
+	// record fault tests assert on (no vCPU may starve under injection).
+	VCPURan []simtime.Duration
 }
 
 // YieldBreakdown decomposes yields by source (paper Figure 7).
@@ -83,6 +100,12 @@ type Result struct {
 	SymbolHits map[string]uint64
 	MicroAvg   float64
 	Duration   simtime.Duration
+	// Violations holds what the invariant auditor found (empty unless
+	// Setup.Audit or fault injection was enabled).
+	Violations []hv.InvariantError
+	// FaultErrs records injected faults the hypervisor refused to apply
+	// (e.g. a hotplug landing on the last normal-pool pCPU).
+	FaultErrs []string
 }
 
 // VM returns the result of the named VM.
@@ -96,12 +119,30 @@ func (r *Result) VM(name string) *VMResult {
 }
 
 // Run executes a scenario to completion and collects the measurements.
-func Run(s Setup) (*Result, error) {
+// Panics anywhere inside the simulation are recovered and returned as
+// errors, so one corrupt scenario cannot take down a whole grid.
+func Run(s Setup) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiment: panic in scenario: %v\n%s", r, debug.Stack())
+		}
+	}()
 	if s.PCPUs == 0 {
 		s.PCPUs = DefaultPCPUs
 	}
+	if s.PCPUs < 0 {
+		return nil, fmt.Errorf("experiment: PCPUs %d negative", s.PCPUs)
+	}
 	if s.Duration == 0 {
 		s.Duration = DefaultDuration
+	}
+	if s.Duration < 0 {
+		return nil, fmt.Errorf("experiment: Duration %v negative", s.Duration)
+	}
+	for _, vm := range s.VMs {
+		if vm.VCPUs < 0 {
+			return nil, fmt.Errorf("experiment: VM %s: VCPUs %d negative", vm.Name, vm.VCPUs)
+		}
 	}
 	clock := simtime.NewClock()
 	cfg := hv.DefaultConfig()
@@ -109,7 +150,36 @@ func Run(s Setup) (*Result, error) {
 		cfg = *s.HVConfig
 	}
 	cfg.PCPUs = s.PCPUs
+
+	var plan *fault.Plan
+	faultsOn := s.Faults != nil && s.Faults.Enabled()
+	if faultsOn {
+		plan, err = fault.New(*s.Faults, s.PCPUs, s.Duration)
+		if err != nil {
+			return nil, err
+		}
+		s.Audit = true
+	}
+	if s.Audit && cfg.TraceCapacity < 256 {
+		// Violations carry the trace-ring tail; make sure there is one.
+		cfg.TraceCapacity = 256
+	}
 	h := hv.New(clock, cfg)
+	if plan != nil {
+		plan.Attach(h)
+	}
+	var auditor *hv.Auditor
+	if s.Audit {
+		auditor = h.EnableAudit(hv.AuditConfig{})
+	}
+
+	// Livelock watchdog: pure observation (never schedules events), so it
+	// is always armed and cannot perturb results.
+	var wdInfo *simtime.WatchdogInfo
+	clock.SetWatchdog(watchdogLimit, func(info simtime.WatchdogInfo) {
+		wdInfo = &info
+		clock.Stop()
+	})
 
 	kernels := make([]*guest.Kernel, len(s.VMs))
 	apps := make([]*workload.App, len(s.VMs))
@@ -127,6 +197,9 @@ func Run(s Setup) (*Result, error) {
 			return nil, fmt.Errorf("experiment: VM %s: %v", vm.Name, err)
 		}
 		apps[i] = app
+		if plan != nil {
+			plan.AttachGuest(kernels[i])
+		}
 	}
 	ctrl, err := core.Attach(h, s.Core)
 	if err != nil {
@@ -153,7 +226,21 @@ func Run(s Setup) (*Result, error) {
 		}
 	}
 	clock.RunUntil(s.Duration)
-	return collect(s, h, ctrl, kernels, apps), nil
+	if wdInfo != nil {
+		return nil, fmt.Errorf(
+			"experiment: event-loop livelock at t=%v: %d events without the clock advancing (recent events: %v)",
+			wdInfo.Now, wdInfo.SameTimeEvents, wdInfo.RecentLabels)
+	}
+	res = collect(s, h, ctrl, kernels, apps)
+	if auditor != nil {
+		res.Violations = auditor.Violations()
+	}
+	if plan != nil {
+		for _, e := range plan.HotplugErrs {
+			res.FaultErrs = append(res.FaultErrs, e.Error())
+		}
+	}
+	return res, nil
 }
 
 func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.Kernel, apps []*workload.App) *Result {
@@ -167,8 +254,10 @@ func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.
 	for i, k := range kernels {
 		d := k.Dom
 		var ran simtime.Duration
+		perVCPU := make([]simtime.Duration, 0, len(d.VCPUs))
 		for _, v := range d.VCPUs {
 			ran += v.RanTotal()
+			perVCPU = append(perVCPU, v.RanTotal())
 		}
 		res.VMs = append(res.VMs, VMResult{
 			Name:  s.VMs[i].Name,
@@ -183,6 +272,7 @@ func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.
 			TLB:      k.TLBStat,
 			LockStat: k.LockStat,
 			RanTotal: ran,
+			VCPURan:  perVCPU,
 		})
 	}
 	return res

@@ -62,7 +62,9 @@ func RunIORival(proto string, mixed bool, cc core.Config, rival Rival, dur simti
 	if mixed {
 		workload.LookbusyThread(app, 0)
 		hog = guest.NewKernel(h, "vm2", 1, ksym.Generate(6), guest.DefaultParams())
-		workload.MustNew("lookbusy", hog, 9)
+		if _, err := workload.New("lookbusy", hog, 9); err != nil {
+			return nil, err
+		}
 		k.VCPUs[0].HV().Pin(0)
 		hog.VCPUs[0].HV().Pin(0)
 	}
@@ -91,7 +93,10 @@ func RunIORival(proto string, mixed bool, cc core.Config, rival Rival, dur simti
 	out := &IOMeasure{Proto: proto}
 	switch proto {
 	case "udp":
-		flow := vnet.NewUDPFlow(clock, nic, 0, ioUDPBytes, ioLinkBps)
+		flow, err := vnet.NewUDPFlow(clock, nic, 0, ioUDPBytes, ioLinkBps)
+		if err != nil {
+			return nil, err
+		}
 		flow.Attach(sock)
 		flow.Start()
 		clock.RunUntil(dur)
@@ -100,7 +105,10 @@ func RunIORival(proto string, mixed bool, cc core.Config, rival Rival, dur simti
 		out.JitterMs = flow.Jitter.PeakMillis()
 		out.Loss = flow.LossRate()
 	case "tcp":
-		flow := vnet.NewTCPFlow(clock, nic, 0, ioTCPBytes, ioTCPWindow, ioLinkBps, ioWireDelay)
+		flow, err := vnet.NewTCPFlow(clock, nic, 0, ioTCPBytes, ioTCPWindow, ioLinkBps, ioWireDelay)
+		if err != nil {
+			return nil, err
+		}
 		flow.Attach(sock)
 		flow.Start()
 		clock.RunUntil(dur)

@@ -92,21 +92,38 @@ func parallelDo(n int, f func(i int) error) error {
 	return firstErr
 }
 
+// JobResult is one Setup's settled outcome: exactly one of Result and Err
+// is non-nil.
+type JobResult struct {
+	Result *Result
+	Err    error
+}
+
+// RunAllSettled executes every Setup on the worker pool with per-job
+// isolation: a failing (or panicking — Run recovers panics into errors)
+// job yields an error JobResult and never prevents its siblings from
+// completing. Results are order-preserving.
+func RunAllSettled(setups []Setup) []JobResult {
+	out := make([]JobResult, len(setups))
+	parallelDo(len(setups), func(i int) error {
+		r, err := Run(setups[i])
+		out[i] = JobResult{Result: r, Err: err}
+		return nil // errors are settled per job, never propagated
+	})
+	return out
+}
+
 // RunAll executes every Setup on the worker pool and returns the results in
 // input order. On error it returns nil results and the error of the
-// lowest-index failing Setup.
+// lowest-index failing Setup (every job still runs to completion).
 func RunAll(setups []Setup) ([]*Result, error) {
+	settled := RunAllSettled(setups)
 	results := make([]*Result, len(setups))
-	err := parallelDo(len(setups), func(i int) error {
-		r, e := Run(setups[i])
-		if e != nil {
-			return e
+	for i, jr := range settled {
+		if jr.Err != nil {
+			return nil, jr.Err
 		}
-		results[i] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		results[i] = jr.Result
 	}
 	return results, nil
 }

@@ -1,0 +1,211 @@
+// Package fault implements deterministic, seeded fault injection for
+// simulation runs. A Config describes which perturbations to apply; a Plan
+// pre-draws every random decision's stream from internal/rng so two runs
+// with the same Config produce bit-for-bit identical fault schedules —
+// fault runs are as reproducible as fault-free ones.
+//
+// The injectors model the adverse timing the paper's mechanism exists to
+// survive: pCPU capacity loss mid-run (hot-unplug/replug — the micro-pool
+// controller and credit scheduler must rebalance), delayed or dropped IPIs
+// with bounded retry, scheduler-tick jitter, and lock-holder stall
+// amplification inside guest critical sections.
+package fault
+
+import (
+	"fmt"
+
+	"github.com/microslicedcore/microsliced/internal/guest"
+	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/rng"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+// Config selects the faults to inject. The zero value injects nothing.
+type Config struct {
+	// Seed seeds the fault plan's own RNG streams (decorrelated from the
+	// workload streams, so enabling a fault never reshuffles workload
+	// randomness).
+	Seed uint64
+
+	// OfflinePCPUs hot-unplugs this many pCPUs mid-run, each at a
+	// deterministic pseudo-random point in [20%, 50%] of the run, and
+	// brings each back online 20–40% of the run later. pCPU 0 is never
+	// unplugged, so at least one normal-pool core always remains.
+	OfflinePCPUs int
+
+	// IPIDelayProb delays each virtual IPI with this probability by a
+	// uniform duration in (0, IPIDelayMax].
+	IPIDelayProb float64
+	IPIDelayMax  simtime.Duration
+
+	// IPIDropProb drops each IPI delivery attempt with this probability.
+	// Dropped IPIs are retried (hv.Config.IPIRetryDelay apart, up to
+	// IPIRetryLimit attempts) and then delivered unconditionally: the
+	// fault perturbs timing, it never loses an interrupt outright.
+	IPIDropProb float64
+
+	// TickJitter perturbs every scheduler tick by a uniform offset in
+	// [-TickJitter, +TickJitter] (clamped so delays stay non-negative).
+	TickJitter simtime.Duration
+
+	// LockStallProb amplifies each guest critical section with this
+	// probability, scaling its duration by LockStallFactor — a lock
+	// holder stalling mid-section, the raw material of LHP.
+	LockStallProb   float64
+	LockStallFactor float64
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.OfflinePCPUs > 0 ||
+		c.IPIDelayProb > 0 || c.IPIDropProb > 0 ||
+		c.TickJitter > 0 ||
+		c.LockStallProb > 0
+}
+
+// Validate rejects out-of-range parameters with a descriptive error.
+func (c Config) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"IPIDelayProb", c.IPIDelayProb},
+		{"IPIDropProb", c.IPIDropProb},
+		{"LockStallProb", c.LockStallProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if c.OfflinePCPUs < 0 {
+		return fmt.Errorf("fault: OfflinePCPUs %d negative", c.OfflinePCPUs)
+	}
+	if c.IPIDelayProb > 0 && c.IPIDelayMax <= 0 {
+		return fmt.Errorf("fault: IPIDelayProb %v needs IPIDelayMax > 0", c.IPIDelayProb)
+	}
+	if c.IPIDelayMax < 0 {
+		return fmt.Errorf("fault: IPIDelayMax %v negative", c.IPIDelayMax)
+	}
+	if c.TickJitter < 0 {
+		return fmt.Errorf("fault: TickJitter %v negative", c.TickJitter)
+	}
+	if c.LockStallProb > 0 && c.LockStallFactor < 1 {
+		return fmt.Errorf("fault: LockStallFactor %v must be >= 1", c.LockStallFactor)
+	}
+	return nil
+}
+
+// HotplugEvent is one scheduled pCPU unplug/replug pair.
+type HotplugEvent struct {
+	PCPU int
+	Off  simtime.Time
+	On   simtime.Time
+}
+
+// Plan is an instantiated fault schedule for one run. Construct with New,
+// then Attach to the hypervisor (and AttachGuest to each kernel) before
+// the clock runs.
+type Plan struct {
+	Cfg Config
+
+	// Hotplug is the deterministic unplug/replug schedule, fixed at New.
+	Hotplug []HotplugEvent
+
+	ipi  *rng.Source
+	tick *rng.Source
+	lock *rng.Source
+
+	// HotplugErrs collects OfflinePCPU/OnlinePCPU refusals (e.g. the
+	// scheduled core became the last normal-pool pCPU); the run continues.
+	HotplugErrs []error
+}
+
+// New validates cfg and pre-draws the hotplug schedule for a run of the
+// given duration on pcpus cores. The same (cfg, pcpus, duration) triple
+// always yields the same plan.
+func New(cfg Config, pcpus int, duration simtime.Duration) (*Plan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OfflinePCPUs > pcpus-1 {
+		return nil, fmt.Errorf("fault: OfflinePCPUs %d leaves no core online (have %d)",
+			cfg.OfflinePCPUs, pcpus)
+	}
+	root := rng.New(cfg.Seed ^ 0xfa17_5eed_0000_0001)
+	p := &Plan{
+		Cfg:  cfg,
+		ipi:  root.Fork(1),
+		tick: root.Fork(2),
+		lock: root.Fork(3),
+	}
+	hot := root.Fork(4)
+	if cfg.OfflinePCPUs > 0 {
+		// Unplug distinct cores, never pCPU 0 (ID order for readability).
+		perm := hot.Perm(pcpus - 1)
+		for i := 0; i < cfg.OfflinePCPUs; i++ {
+			off := simtime.Time(hot.Uniform(0.2, 0.5) * float64(duration))
+			on := off + simtime.Time(hot.Uniform(0.2, 0.4)*float64(duration))
+			if on >= simtime.Time(duration) {
+				on = simtime.Time(duration) * 9 / 10
+			}
+			p.Hotplug = append(p.Hotplug, HotplugEvent{PCPU: perm[i] + 1, Off: off, On: on})
+		}
+	}
+	return p, nil
+}
+
+// Attach installs the plan's hypervisor-side injectors: the IPI fault hook,
+// the tick-jitter hook on the clock, and the hotplug schedule as clock
+// events. Call once, before hv.Start / clock.Run.
+func (p *Plan) Attach(h *hv.Hypervisor) {
+	cfg := p.Cfg
+	if cfg.IPIDelayProb > 0 || cfg.IPIDropProb > 0 {
+		h.Hooks.IPIFault = func(vec hv.Vector) (simtime.Duration, bool) {
+			// Draw both decisions unconditionally so the stream consumed
+			// per IPI is fixed regardless of outcomes.
+			drop := p.ipi.Bool(cfg.IPIDropProb)
+			delayed := p.ipi.Bool(cfg.IPIDelayProb)
+			var delay simtime.Duration
+			if delayed && cfg.IPIDelayMax > 0 {
+				delay = simtime.Duration(p.ipi.Int63n(int64(cfg.IPIDelayMax))) + 1
+			}
+			return delay, drop
+		}
+	}
+	if cfg.TickJitter > 0 {
+		j := int64(cfg.TickJitter)
+		h.Clock.SetDelayJitter(func(label string, d simtime.Duration) simtime.Duration {
+			if label != "tick" && label != "acct" {
+				return d
+			}
+			return d + simtime.Duration(p.tick.UniformDur(-j, j))
+		})
+	}
+	for _, ev := range p.Hotplug {
+		ev := ev
+		h.Clock.AtLabeled(ev.Off, "hotplug-off", func() {
+			if err := h.OfflinePCPU(ev.PCPU); err != nil {
+				p.HotplugErrs = append(p.HotplugErrs, err)
+			}
+		})
+		h.Clock.AtLabeled(ev.On, "hotplug-on", func() {
+			if err := h.OnlinePCPU(ev.PCPU); err != nil {
+				p.HotplugErrs = append(p.HotplugErrs, err)
+			}
+		})
+	}
+}
+
+// AttachGuest installs the guest-side lock-stall injector on one kernel.
+func (p *Plan) AttachGuest(k *guest.Kernel) {
+	cfg := p.Cfg
+	if cfg.LockStallProb <= 0 {
+		return
+	}
+	k.LockStall = func(class string, d simtime.Duration) simtime.Duration {
+		if !p.lock.Bool(cfg.LockStallProb) {
+			return d
+		}
+		return simtime.Duration(float64(d) * cfg.LockStallFactor)
+	}
+}

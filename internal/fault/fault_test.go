@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"full", Config{Seed: 1, OfflinePCPUs: 2, IPIDelayProb: 0.5,
+			IPIDelayMax: simtime.Millisecond, IPIDropProb: 0.1,
+			TickJitter: simtime.Millisecond, LockStallProb: 0.2, LockStallFactor: 4}, true},
+		{"prob>1", Config{IPIDropProb: 1.5}, false},
+		{"prob<0", Config{IPIDelayProb: -0.1}, false},
+		{"negative-offline", Config{OfflinePCPUs: -1}, false},
+		{"delay-without-max", Config{IPIDelayProb: 0.5}, false},
+		{"negative-jitter", Config{TickJitter: -1}, false},
+		{"stall-factor<1", Config{LockStallProb: 0.5, LockStallFactor: 0.5}, false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if !(Config{OfflinePCPUs: 1}).Enabled() {
+		t.Fatal("hotplug config reports disabled")
+	}
+	if !(Config{TickJitter: simtime.Millisecond}).Enabled() {
+		t.Fatal("jitter config reports disabled")
+	}
+}
+
+func TestPlanDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, OfflinePCPUs: 3}
+	a, err := New(cfg, 12, 3*simtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg, 12, 3*simtime.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Hotplug, b.Hotplug) {
+		t.Fatalf("same config, different hotplug schedules:\n%v\n%v", a.Hotplug, b.Hotplug)
+	}
+	if len(a.Hotplug) != 3 {
+		t.Fatalf("want 3 hotplug events, got %d", len(a.Hotplug))
+	}
+	seen := map[int]bool{}
+	for _, ev := range a.Hotplug {
+		if ev.PCPU == 0 {
+			t.Fatal("plan unplugs pCPU 0")
+		}
+		if seen[ev.PCPU] {
+			t.Fatalf("pCPU %d unplugged twice", ev.PCPU)
+		}
+		seen[ev.PCPU] = true
+		if ev.On <= ev.Off {
+			t.Fatalf("replug %v not after unplug %v", ev.On, ev.Off)
+		}
+		if ev.Off <= 0 || ev.On >= simtime.Time(3*simtime.Second) {
+			t.Fatalf("hotplug window [%v, %v] outside the run", ev.Off, ev.On)
+		}
+	}
+}
+
+func TestPlanRejectsTotalCapacityLoss(t *testing.T) {
+	if _, err := New(Config{OfflinePCPUs: 2}, 2, simtime.Second); err == nil {
+		t.Fatal("plan accepted unplugging all-but-zero cores of a 2-core host")
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a, _ := New(Config{Seed: 1, OfflinePCPUs: 2}, 12, 3*simtime.Second)
+	b, _ := New(Config{Seed: 2, OfflinePCPUs: 2}, 12, 3*simtime.Second)
+	if reflect.DeepEqual(a.Hotplug, b.Hotplug) {
+		t.Fatal("different seeds produced identical hotplug schedules")
+	}
+}

@@ -570,7 +570,7 @@ func (v *VCPU) enterCS(t *Thread) {
 		return
 	}
 	t.opStage = 1
-	t.remaining = t.op.Dur
+	t.remaining = t.lock.holdDuration(t.op.Dur)
 	v.setRIP(t.lock.body)
 	v.armEv(t.remaining, v.opDone)
 }

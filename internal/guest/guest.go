@@ -126,6 +126,11 @@ type Kernel struct {
 	// Systemtap probe on native_flush_tlb_others (paper Table 4b).
 	TLBStat *metrics.Histogram
 
+	// LockStall, when set (fault injection), maps an acquired lock's class
+	// and nominal critical-section duration to the duration actually spent
+	// holding the lock. nil means no amplification.
+	LockStall func(class string, d simtime.Duration) simtime.Duration
+
 	// OnThreadExit, when set, fires when any thread finishes its program.
 	OnThreadExit func(t *Thread)
 

@@ -54,6 +54,19 @@ func (l *SpinLock) Holder() *Thread { return l.holder }
 // QueueLen returns the number of spinning waiters.
 func (l *SpinLock) QueueLen() int { return len(l.waiters) }
 
+// holdDuration returns the critical-section duration for a thread that just
+// acquired l. A fault plan's LockStall hook may amplify it, modelling a
+// holder that stalls inside the critical section (cache misses, host-level
+// interference) — the raw material of lock-holder preemption.
+func (l *SpinLock) holdDuration(d simtime.Duration) simtime.Duration {
+	if l.k.LockStall != nil {
+		if d = l.k.LockStall(l.class, d); d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
 // tryAcquire implements the fast path. It returns true when t now holds
 // the lock.
 func (l *SpinLock) tryAcquire(t *Thread) bool {

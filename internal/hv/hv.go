@@ -40,6 +40,14 @@ type Config struct {
 	IPILatency    simtime.Duration // hypervisor vIPI/vIRQ injection latency
 	PIRQCost      simtime.Duration // hypervisor physical-IRQ handling cost
 
+	// IPIRetryDelay / IPIRetryLimit bound the resend loop used when an
+	// injected fault drops a vIPI (Hooks.IPIFault): each dropped send is
+	// retried after IPIRetryDelay, at most IPIRetryLimit times, after which
+	// the IPI is delivered unconditionally — hardware eventually gets the
+	// interrupt through, so a fault plan can delay but never lose one.
+	IPIRetryDelay simtime.Duration
+	IPIRetryLimit int
+
 	BoostEnabled    bool // Xen's BOOST-on-wake optimization
 	MicroRunqLimit  int  // max queued vCPUs per micro pCPU (paper: 1)
 	MicroReturnHome bool // vCPUs go home after one micro slice (paper: true)
@@ -63,6 +71,8 @@ func DefaultConfig() Config {
 		ColdCacheCost:      15 * simtime.Microsecond,
 		IPILatency:         500 * simtime.Nanosecond,
 		PIRQCost:           800 * simtime.Nanosecond,
+		IPIRetryDelay:      5 * simtime.Microsecond,
+		IPIRetryLimit:      4,
 		BoostEnabled:       true,
 		MicroRunqLimit:     1,
 		MicroReturnHome:    true,
@@ -218,10 +228,11 @@ type VCPU struct {
 
 	pending []PendingIRQ
 
-	warmupEv     *simtime.Event
-	runningSince simtime.Time
-	ranTotal     simtime.Duration
-	microVisits  uint64
+	warmupEv      *simtime.Event
+	runningSince  simtime.Time
+	runnableSince simtime.Time // when the vCPU last left a pCPU/blocked state
+	ranTotal      simtime.Duration
+	microVisits   uint64
 
 	burnAt simtime.Time // start of the current credit-burn window
 	debtNs int64        // sub-credit runtime carried to the next burn
@@ -320,10 +331,17 @@ type PCPU struct {
 
 	sliceEv *simtime.Event
 	busy    simtime.Duration
+
+	// offline marks a hot-unplugged pCPU (fault injection): it belongs to
+	// no pool, holds no work, and its tick idles until OnlinePCPU.
+	offline bool
 }
 
 // Current returns the vCPU running on this pCPU (nil when idle).
 func (p *PCPU) Current() *VCPU { return p.cur }
+
+// Offline reports whether the pCPU is hot-unplugged.
+func (p *PCPU) Offline() bool { return p.offline }
 
 // QueueLen returns the runqueue length.
 func (p *PCPU) QueueLen() int { return len(p.runq) }
@@ -364,6 +382,12 @@ type Hooks struct {
 	OnVIRQRelay func(target *VCPU)
 	// OnVIPIRelay fires when the hypervisor relays a guest IPI.
 	OnVIPIRelay func(src, target *VCPU, vec Vector)
+	// IPIFault, when non-nil, is consulted on every vIPI send (fault
+	// injection): it returns an extra delivery delay and whether this send
+	// attempt is dropped. Dropped sends are retried after
+	// Config.IPIRetryDelay, at most Config.IPIRetryLimit times, then
+	// delivered unconditionally.
+	IPIFault func(vec Vector) (delay simtime.Duration, drop bool)
 }
 
 // Hypervisor ties the machine together.
@@ -401,6 +425,8 @@ type hvHot struct {
 	irqDeferred *metrics.Counter
 	migrMicro   *metrics.Counter
 	migrHome    *metrics.Counter
+	vipiDropped *metrics.Counter
+	vipiRetried *metrics.Counter
 }
 
 // yieldName maps a YieldReason to its counter name (matches YieldReason.String).
@@ -448,6 +474,8 @@ func New(clock *simtime.Clock, cfg Config) *Hypervisor {
 	h.hot.irqDeferred = h.Counters.Handle("irq.deferred")
 	h.hot.migrMicro = h.Counters.Handle("migrate.micro")
 	h.hot.migrHome = h.Counters.Handle("migrate.home")
+	h.hot.vipiDropped = h.Counters.Handle("vipi.dropped")
+	h.hot.vipiRetried = h.Counters.Handle("vipi.retried")
 	return h
 }
 
@@ -523,9 +551,9 @@ func (h *Hypervisor) Start() {
 	for i, p := range h.pcpus {
 		p := p
 		offset := h.Cfg.Tick * simtime.Duration(i+1) / n
-		h.Clock.After(offset, func() { h.pcpuTick(p) })
+		h.Clock.AfterLabeled(offset, "tick", func() { h.pcpuTick(p) })
 	}
-	h.Clock.After(h.Cfg.Tick*simtime.Duration(h.Cfg.TicksPerAcct), h.acctTick)
+	h.Clock.AfterLabeled(h.Cfg.Tick*simtime.Duration(h.Cfg.TicksPerAcct), "acct", h.acctTick)
 }
 
 func (h *Hypervisor) count(name string) { h.Counters.Counter(name).Inc() }

@@ -25,6 +25,37 @@ func (h *Hypervisor) SendVIPI(src, dst *VCPU, vec Vector, data uint64) {
 	if h.Hooks.OnVIPIRelay != nil {
 		h.Hooks.OnVIPIRelay(src, dst, vec)
 	}
+	if h.Hooks.IPIFault != nil {
+		h.sendVIPIFaulty(dst, vec, data, 0)
+		return
+	}
+	h.deliver(dst, vec, data)
+}
+
+// sendVIPIFaulty consults the fault hook for each delivery attempt. A
+// dropped IPI is retried after IPIRetryDelay (the guest's IPI-wait path
+// resending, as Linux's csd-lock watchdog eventually does); after
+// IPIRetryLimit drops the interrupt is delivered unconditionally — the
+// fault model perturbs timing but never loses an IPI outright, which would
+// wedge the guest rather than stress the scheduler.
+func (h *Hypervisor) sendVIPIFaulty(dst *VCPU, vec Vector, data uint64, attempt int) {
+	delay, drop := h.Hooks.IPIFault(vec)
+	if drop && attempt < h.Cfg.IPIRetryLimit {
+		h.hot.vipiDropped.Inc()
+		h.Clock.AfterLabeled(h.Cfg.IPIRetryDelay, "ipi-retry", func() {
+			h.sendVIPIFaulty(dst, vec, data, attempt+1)
+		})
+		return
+	}
+	if attempt > 0 {
+		h.hot.vipiRetried.Inc()
+	}
+	if delay > 0 {
+		h.Clock.AfterLabeled(delay, "ipi-delay", func() {
+			h.deliver(dst, vec, data)
+		})
+		return
+	}
 	h.deliver(dst, vec, data)
 }
 

@@ -45,7 +45,7 @@ func (h *Hypervisor) MigrateToMicro(v *VCPU) bool {
 	if v.state == StateRunnable {
 		h.dequeue(v)
 	}
-	v.state = StateRunnable
+	h.setRunnable(v)
 	v.pool = h.micro
 	v.microVisits++
 	h.hot.migrMicro.Inc()
@@ -101,7 +101,7 @@ func (h *Hypervisor) ForceDispatch(p *PCPU, v *VCPU) bool {
 		cur := p.cur
 		h.count("sched.force_preempt")
 		h.descheduleCurrent(p)
-		cur.state = StateRunnable
+		h.setRunnable(cur)
 		h.requeuePreempted(p, cur)
 	}
 	h.dequeue(v)
@@ -136,7 +136,7 @@ func (h *Hypervisor) GrowMicro() bool {
 	if p.cur != nil {
 		cur := p.cur
 		h.descheduleCurrent(p)
-		cur.state = StateRunnable
+		h.setRunnable(cur)
 		h.requeueElsewhere(cur, p)
 	}
 	// Drain the runqueue.
@@ -166,7 +166,7 @@ func (h *Hypervisor) ShrinkMicro() bool {
 	if p.cur != nil {
 		cur := p.cur
 		h.descheduleCurrent(p)
-		cur.state = StateRunnable
+		h.setRunnable(cur)
 		cur.pool = cur.homePool
 		h.count("migrate.home")
 		q := h.homePCPU(cur)
@@ -255,6 +255,93 @@ func (h *Hypervisor) requeueElsewhere(v *VCPU, excluding *PCPU) {
 	}
 	h.enqueue(best, v)
 	h.tickle(best)
+}
+
+// ---------------------------------------------------------------------------
+// pCPU hotplug (fault injection)
+// ---------------------------------------------------------------------------
+
+// OfflinePCPU hot-unplugs a pCPU mid-run: the current vCPU is preempted and
+// every queued vCPU is redistributed, then the pCPU leaves its pool entirely.
+// Micro-pool residents migrate back to their home pool (the controller will
+// re-grow the micro pool elsewhere if load still warrants it). The last
+// online normal-pool pCPU cannot be removed — the system always retains
+// general-purpose capacity.
+func (h *Hypervisor) OfflinePCPU(id int) error {
+	p := h.pcpuByID(id)
+	if p == nil {
+		return fmt.Errorf("hv: offline of unknown pCPU %d", id)
+	}
+	if p.offline {
+		return fmt.Errorf("hv: pCPU %d already offline", id)
+	}
+	if p.pool == h.normal && len(h.normal.pcpus) <= 1 {
+		return fmt.Errorf("hv: cannot offline p%d: last normal-pool pCPU", id)
+	}
+	fromMicro := p.pool == h.micro
+	if p.cur != nil {
+		cur := p.cur
+		h.descheduleCurrent(p)
+		h.setRunnable(cur)
+		if fromMicro {
+			cur.pool = cur.homePool
+			h.count("migrate.home")
+			q := h.homePCPU(cur)
+			h.enqueue(q, cur)
+			h.tickle(q)
+		} else {
+			h.requeueElsewhere(cur, p)
+		}
+	}
+	for len(p.runq) > 0 {
+		v := p.runq[0]
+		h.dequeue(v)
+		if fromMicro {
+			v.pool = v.homePool
+			h.count("migrate.home")
+			q := h.homePCPU(v)
+			h.enqueue(q, v)
+			h.tickle(q)
+		} else {
+			h.requeueElsewhere(v, p)
+		}
+	}
+	h.removePCPU(p.pool, p)
+	p.pool = nil
+	p.lastRan = nil
+	p.offline = true
+	h.count("hotplug.offline")
+	h.emit(trace.KindHotplug, nil, 0, uint64(p.ID))
+	return nil
+}
+
+// OnlinePCPU brings a hot-unplugged pCPU back, always into the normal pool
+// (the dynamic controller re-grows the micro pool on its own if warranted).
+func (h *Hypervisor) OnlinePCPU(id int) error {
+	p := h.pcpuByID(id)
+	if p == nil {
+		return fmt.Errorf("hv: online of unknown pCPU %d", id)
+	}
+	if !p.offline {
+		return fmt.Errorf("hv: pCPU %d is not offline", id)
+	}
+	p.offline = false
+	p.pool = h.normal
+	p.lastRan = nil
+	h.normal.pcpus = append(h.normal.pcpus, p)
+	h.count("hotplug.online")
+	h.emit(trace.KindHotplug, nil, 1, uint64(p.ID))
+	h.schedule(p)
+	return nil
+}
+
+func (h *Hypervisor) pcpuByID(id int) *PCPU {
+	for _, p := range h.pcpus {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
 }
 
 func (h *Hypervisor) removePCPU(pool *Pool, p *PCPU) {

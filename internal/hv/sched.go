@@ -116,9 +116,20 @@ func loadOf(p *PCPU) int {
 // Dispatch / deschedule
 // ---------------------------------------------------------------------------
 
+// setRunnable transitions v to Runnable, stamping the start of its wait so
+// the invariant auditor can detect starvation. Requeues of an
+// already-runnable vCPU (pool migration, re-pinning) keep the original
+// stamp: moving between queues does not end the wait.
+func (h *Hypervisor) setRunnable(v *VCPU) {
+	if v.state != StateRunnable {
+		v.runnableSince = h.Clock.Now()
+	}
+	v.state = StateRunnable
+}
+
 // schedule picks and dispatches the next vCPU for an idle pCPU.
 func (h *Hypervisor) schedule(p *PCPU) {
-	if p.cur != nil {
+	if p.cur != nil || p.offline {
 		return
 	}
 	v := h.pickNext(p)
@@ -176,6 +187,9 @@ func (h *Hypervisor) pickNext(p *PCPU) *VCPU {
 func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 	if p.cur != nil {
 		panic(fmt.Sprintf("hv: dispatch on busy p%d", p.ID))
+	}
+	if p.offline {
+		panic(fmt.Sprintf("hv: dispatch on offline p%d", p.ID))
 	}
 	if v.state != StateRunnable || v.queuedOn != nil {
 		panic(fmt.Sprintf("hv: dispatch of %v (queued=%v)", v, v.queuedOn != nil))
@@ -288,7 +302,7 @@ func (h *Hypervisor) sliceExpired(p *PCPU, v *VCPU) {
 	h.hot.preempt.Inc()
 	h.emit(trace.KindPreempt, v, 0, 0)
 	h.descheduleCurrent(p)
-	v.state = StateRunnable
+	h.setRunnable(v)
 	h.requeuePreempted(p, v)
 	h.schedule(p)
 }
@@ -309,7 +323,7 @@ func (h *Hypervisor) Yield(v *VCPU, reason YieldReason) {
 	h.countYield(v, reason)
 	h.emit(trace.KindYield, v, uint64(reason), v.Guest.RIP())
 	h.descheduleCurrent(p)
-	v.state = StateRunnable
+	h.setRunnable(v)
 	h.requeuePreempted(p, v)
 	if h.Hooks.OnYield != nil {
 		h.Hooks.OnYield(v, reason)
@@ -344,7 +358,7 @@ func (h *Hypervisor) Wake(v *VCPU, boost bool) {
 	if v.state != StateBlocked {
 		return
 	}
-	v.state = StateRunnable
+	h.setRunnable(v)
 	v.prio = v.basePrio()
 	if boost && h.Cfg.BoostEnabled && !v.pool.NoBoost {
 		v.prio = PrioBoost
@@ -361,6 +375,9 @@ func (h *Hypervisor) Wake(v *VCPU, boost bool) {
 // tickle gives p a chance to pick up newly queued work, preempting a
 // strictly lower-priority current vCPU.
 func (h *Hypervisor) tickle(p *PCPU) {
+	if p.offline {
+		return
+	}
 	if p.cur == nil {
 		h.schedule(p)
 		return
@@ -373,7 +390,7 @@ func (h *Hypervisor) tickle(p *PCPU) {
 		cur := p.cur
 		h.count("sched.tickle_preempt")
 		h.descheduleCurrent(p)
-		cur.state = StateRunnable
+		h.setRunnable(cur)
 		h.requeuePreempted(p, cur)
 		h.schedule(p)
 	}
@@ -401,6 +418,12 @@ func (h *Hypervisor) countYield(v *VCPU, reason YieldReason) {
 // runqueue at the same instant and produce artificial gang scheduling of
 // same-priority vCPU sets.
 func (h *Hypervisor) pcpuTick(p *PCPU) {
+	if p.offline {
+		// Keep the tick armed so the pCPU resumes accounting when it
+		// comes back online; an offline core has nothing to charge.
+		h.Clock.AfterLabeled(h.Cfg.Tick, "tick", func() { h.pcpuTick(p) })
+		return
+	}
 	if v := p.cur; v != nil {
 		if v.warmupEv == nil {
 			h.burnCredits(v)
@@ -416,12 +439,12 @@ func (h *Hypervisor) pcpuTick(p *PCPU) {
 		if wasBoosted && len(p.runq) > 0 && p.runq[0].prio <= v.prio && !p.pool.NoPreempt {
 			h.count("sched.deboost_preempt")
 			h.descheduleCurrent(p)
-			v.state = StateRunnable
+			h.setRunnable(v)
 			h.requeuePreempted(p, v)
 		}
 	}
 	h.refreshQueue(p)
-	h.Clock.After(h.Cfg.Tick, func() { h.pcpuTick(p) })
+	h.Clock.AfterLabeled(h.Cfg.Tick, "tick", func() { h.pcpuTick(p) })
 }
 
 // burnCredits charges a running vCPU for its runtime since the last charge.
@@ -449,7 +472,7 @@ func (h *Hypervisor) acctTick() {
 	for _, p := range h.pcpus {
 		h.refreshQueue(p)
 	}
-	h.Clock.After(h.Cfg.Tick*simtime.Duration(h.Cfg.TicksPerAcct), h.acctTick)
+	h.Clock.AfterLabeled(h.Cfg.Tick*simtime.Duration(h.Cfg.TicksPerAcct), "acct", h.acctTick)
 }
 
 // refreshQueue re-derives queued priorities and picks up work on an idle

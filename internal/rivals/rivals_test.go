@@ -21,7 +21,9 @@ func host(t *testing.T, pcpus int) (*simtime.Clock, *hv.Hypervisor) {
 func deploy(t *testing.T, h *hv.Hypervisor, name, app string, vcpus int, seed uint64) *guest.Kernel {
 	t.Helper()
 	k := guest.NewKernel(h, name, vcpus, ksym.Generate(seed), guest.DefaultParams())
-	workload.MustNew(app, k, seed)
+	if _, err := workload.New(app, k, seed); err != nil {
+		t.Fatal(err)
+	}
 	return k
 }
 

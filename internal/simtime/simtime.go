@@ -99,6 +99,22 @@ func (e *Event) Cancel() bool {
 	return true
 }
 
+// WatchdogInfo is the diagnostic snapshot handed to a livelock watchdog.
+type WatchdogInfo struct {
+	// Now is the virtual time the event loop is stuck at.
+	Now Time
+	// SameTimeEvents counts consecutive events executed without the
+	// virtual clock advancing.
+	SameTimeEvents uint64
+	// RecentLabels holds the labels of the most recent events, oldest
+	// first (unlabeled events appear as ""), for post-mortem diagnosis.
+	RecentLabels []string
+}
+
+// wdRingSize is the number of recent event labels kept for watchdog
+// diagnostics.
+const wdRingSize = 16
+
 // Clock owns virtual time and the pending-event queue.
 type Clock struct {
 	now     Time
@@ -107,6 +123,56 @@ type Clock struct {
 	fired   uint64
 	stopped bool
 	free    []*Event // recycled Event objects (see package comment)
+
+	// jitter, when set, perturbs the delay of every After/AfterLabeled
+	// call (fault injection: timer-tick jitter). The returned delay is
+	// clamped to >= 0. At-scheduling is never jittered: absolute times
+	// express causal deadlines, not timer programming.
+	jitter func(label string, d Duration) Duration
+
+	// Watchdog state: when wdLimit > 0, Step counts consecutive events
+	// executed at an unchanged virtual time and fires wdFn once the count
+	// reaches the limit (event-loop livelock: work without progress).
+	wdLimit uint64
+	wdCount uint64
+	wdLast  Time
+	wdFn    func(WatchdogInfo)
+	wdRing  [wdRingSize]string
+	wdNext  int
+	wdFired bool
+}
+
+// SetDelayJitter installs (or, with nil, removes) a delay perturbation
+// applied to every After/AfterLabeled call. The function receives the
+// event's label and nominal delay and returns the delay to use; results
+// below zero are clamped to zero. Deterministic fault plans use this to
+// model timer-tick jitter without touching callers.
+func (c *Clock) SetDelayJitter(fn func(label string, d Duration) Duration) {
+	c.jitter = fn
+}
+
+// SetWatchdog arms a livelock watchdog: if limit consecutive events execute
+// without the virtual clock advancing, fn is invoked once with diagnostics
+// (fn typically calls Stop and records the info). limit 0 disarms. The
+// watchdog only observes the event loop; it never schedules events, so
+// arming it cannot perturb a run's results.
+func (c *Clock) SetWatchdog(limit uint64, fn func(WatchdogInfo)) {
+	c.wdLimit = limit
+	c.wdFn = fn
+	c.wdCount = 0
+	c.wdFired = false
+}
+
+// WatchdogFired reports whether the armed watchdog has triggered.
+func (c *Clock) WatchdogFired() bool { return c.wdFired }
+
+// recentLabels returns the watchdog label ring, oldest first.
+func (c *Clock) recentLabels() []string {
+	out := make([]string, 0, wdRingSize)
+	for i := 0; i < wdRingSize; i++ {
+		out = append(out, c.wdRing[(c.wdNext+i)%wdRingSize])
+	}
+	return out
 }
 
 // NewClock returns a clock at time zero with an empty queue.
@@ -172,16 +238,21 @@ func (c *Clock) AtLabeled(t Time, label string, fn func()) *Event {
 // mirroring At's past-time rule: a negative delay is always a simulator bug,
 // and silently clamping it to zero would corrupt causality.
 func (c *Clock) After(d Duration, fn func()) *Event {
-	if d < 0 {
-		panic(fmt.Sprintf("simtime: scheduling event %v before now (negative After)", d))
-	}
-	return c.At(c.now+d, fn)
+	return c.AfterLabeled(d, "", fn)
 }
 
 // AfterLabeled is After with a debug label. Like After, negative d panics.
+// An installed delay jitter (SetDelayJitter) is applied to d before
+// scheduling; jittered delays are clamped to >= 0 rather than panicking,
+// since the perturbation is injected, not a caller bug.
 func (c *Clock) AfterLabeled(d Duration, label string, fn func()) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: scheduling event %q %v before now (negative After)", label, d))
+	}
+	if c.jitter != nil {
+		if d = c.jitter(label, d); d < 0 {
+			d = 0
+		}
 	}
 	return c.AtLabeled(c.now+d, label, fn)
 }
@@ -196,6 +267,21 @@ func (c *Clock) Step() bool {
 	ev.clockRef = nil
 	c.now = ev.when
 	c.fired++
+	if c.wdLimit > 0 {
+		if ev.when == c.wdLast {
+			c.wdCount++
+		} else {
+			c.wdLast, c.wdCount = ev.when, 1
+		}
+		c.wdRing[c.wdNext] = ev.label
+		c.wdNext = (c.wdNext + 1) % wdRingSize
+		if c.wdCount >= c.wdLimit && !c.wdFired {
+			c.wdFired = true
+			if fn := c.wdFn; fn != nil {
+				fn(WatchdogInfo{Now: c.now, SameTimeEvents: c.wdCount, RecentLabels: c.recentLabels()})
+			}
+		}
+	}
 	fn := ev.fn
 	fn()
 	// Recycled only after the callback: during fn the fired event cannot be

@@ -1,0 +1,110 @@
+package simtime
+
+import (
+	"testing"
+)
+
+func TestWatchdogFiresOnLivelock(t *testing.T) {
+	c := NewClock()
+	var info *WatchdogInfo
+	c.SetWatchdog(100, func(i WatchdogInfo) {
+		info = &i
+		c.Stop()
+	})
+	// Classic livelock: a zero-delay event rescheduling itself keeps the
+	// loop busy without the clock ever advancing.
+	var spin func()
+	spin = func() { c.AfterLabeled(0, "spin", spin) }
+	c.AfterLabeled(0, "spin", spin)
+	c.RunUntil(Second)
+	if info == nil {
+		t.Fatal("watchdog never fired on a livelocked loop")
+	}
+	if !c.WatchdogFired() {
+		t.Fatal("WatchdogFired() false after trigger")
+	}
+	if info.Now != 0 {
+		t.Fatalf("livelock detected at t=%v, want 0", info.Now)
+	}
+	if info.SameTimeEvents < 100 {
+		t.Fatalf("fired after only %d same-time events", info.SameTimeEvents)
+	}
+	found := false
+	for _, l := range info.RecentLabels {
+		if l == "spin" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostic labels %v miss the livelocked event", info.RecentLabels)
+	}
+}
+
+func TestWatchdogToleratesAdvancingClock(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.SetWatchdog(100, func(WatchdogInfo) { fired = true })
+	// 10k events, each advancing the clock: never a livelock.
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10_000 {
+			c.After(Microsecond, tick)
+		}
+	}
+	c.After(Microsecond, tick)
+	c.RunUntil(Second)
+	if fired {
+		t.Fatal("watchdog fired on an advancing clock")
+	}
+	if n != 10_000 {
+		t.Fatalf("ran %d events", n)
+	}
+}
+
+func TestWatchdogToleratesBurstsBelowLimit(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.SetWatchdog(1000, func(WatchdogInfo) { fired = true })
+	// 500 events at the same instant (below the limit), then progress.
+	for i := 0; i < 500; i++ {
+		c.After(Millisecond, func() {})
+	}
+	c.After(2*Millisecond, func() {})
+	c.RunUntil(Second)
+	if fired {
+		t.Fatal("watchdog fired on a burst below its limit")
+	}
+}
+
+func TestDelayJitterPerturbsLabeledEvents(t *testing.T) {
+	c := NewClock()
+	c.SetDelayJitter(func(label string, d Duration) Duration {
+		if label == "tick" {
+			return d + Millisecond
+		}
+		return d
+	})
+	var tickAt, otherAt Time
+	c.AfterLabeled(10*Millisecond, "tick", func() { tickAt = c.Now() })
+	c.AfterLabeled(10*Millisecond, "other", func() { otherAt = c.Now() })
+	c.RunUntil(Second)
+	if tickAt != Time(11*Millisecond) {
+		t.Fatalf("jittered tick at %v, want 11ms", tickAt)
+	}
+	if otherAt != Time(10*Millisecond) {
+		t.Fatalf("unlabeled event moved to %v", otherAt)
+	}
+}
+
+func TestDelayJitterClampsNegative(t *testing.T) {
+	c := NewClock()
+	c.SetDelayJitter(func(label string, d Duration) Duration { return d - Second })
+	fired := false
+	c.After(Millisecond, func() { fired = true })
+	c.RunUntil(Second)
+	if !fired {
+		t.Fatal("negatively jittered event never fired")
+	}
+}

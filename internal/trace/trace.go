@@ -30,6 +30,7 @@ const (
 	KindDetect          // detector classified a critical service
 	KindLock            // guest lock event (acquire/contend/release)
 	KindTLB             // guest TLB shootdown event
+	KindHotplug         // pCPU taken offline (arg0=0) or brought online (arg0=1)
 	kindCount
 )
 
@@ -49,6 +50,7 @@ var kindNames = [...]string{
 	KindDetect:     "detect",
 	KindLock:       "lock",
 	KindTLB:        "tlb",
+	KindHotplug:    "hotplug",
 }
 
 // String returns the short name of the kind.

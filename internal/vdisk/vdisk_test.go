@@ -154,7 +154,9 @@ func TestMixedDiskVCPUSuffersAndIsRescued(t *testing.T) {
 		}))
 		workload.LookbusyThread(app, 0)
 		hog := guest.NewKernel(h, "vm2", 1, ksym.Generate(2), guest.DefaultParams())
-		workload.MustNew("lookbusy", hog, 9)
+		if _, err := workload.New("lookbusy", hog, 9); err != nil {
+			t.Fatal(err)
+		}
 		k.VCPUs[0].HV().Pin(0)
 		hog.VCPUs[0].HV().Pin(0)
 		cc := core.DefaultConfig()

@@ -123,11 +123,14 @@ type UDPFlow struct {
 
 // NewUDPFlow creates a UDP flow towards dom's NIC. Attach must be called
 // with the receiving socket before Start.
-func NewUDPFlow(clock *simtime.Clock, nic *NIC, id, pktBytes int, rateBps int64) *UDPFlow {
-	if pktBytes <= 0 || rateBps <= 0 {
-		panic("vnet: UDP flow needs positive packet size and rate")
+func NewUDPFlow(clock *simtime.Clock, nic *NIC, id, pktBytes int, rateBps int64) (*UDPFlow, error) {
+	if pktBytes <= 0 {
+		return nil, fmt.Errorf("vnet: UDP flow %d: packet size %d must be positive", id, pktBytes)
 	}
-	return &UDPFlow{nic: nic, clock: clock, ID: id, PktBytes: pktBytes, RateBps: rateBps}
+	if rateBps <= 0 {
+		return nil, fmt.Errorf("vnet: UDP flow %d: rate %d bps must be positive", id, rateBps)
+	}
+	return &UDPFlow{nic: nic, clock: clock, ID: id, PktBytes: pktBytes, RateBps: rateBps}, nil
 }
 
 // Attach wires the flow's receiver accounting into the guest socket.
@@ -224,14 +227,20 @@ type TCPFlow struct {
 }
 
 // NewTCPFlow creates a TCP-like flow towards dom's NIC.
-func NewTCPFlow(clock *simtime.Clock, nic *NIC, id, pktBytes, window int, linkBps int64, wireDelay simtime.Duration) *TCPFlow {
-	if pktBytes <= 0 || window <= 0 || linkBps <= 0 {
-		panic("vnet: TCP flow needs positive packet size, window and rate")
+func NewTCPFlow(clock *simtime.Clock, nic *NIC, id, pktBytes, window int, linkBps int64, wireDelay simtime.Duration) (*TCPFlow, error) {
+	if pktBytes <= 0 {
+		return nil, fmt.Errorf("vnet: TCP flow %d: packet size %d must be positive", id, pktBytes)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("vnet: TCP flow %d: window %d must be positive", id, window)
+	}
+	if linkBps <= 0 {
+		return nil, fmt.Errorf("vnet: TCP flow %d: link rate %d bps must be positive", id, linkBps)
 	}
 	return &TCPFlow{
 		nic: nic, clock: clock, ID: id,
 		PktBytes: pktBytes, Window: window, LinkBps: linkBps, WireDelay: wireDelay,
-	}
+	}, nil
 }
 
 // Attach wires receiver accounting and the ack clock into the guest socket.

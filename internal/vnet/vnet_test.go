@@ -100,7 +100,10 @@ func TestFetchRepollWhenBacklogged(t *testing.T) {
 
 func TestUDPSoloNearOfferedLoad(t *testing.T) {
 	clock, h, k, nic, sock := ioSetup(t, 2)
-	flow := NewUDPFlow(clock, nic, 0, 1500, 300e6) // 300 Mbit to keep event count modest
+	flow, err := NewUDPFlow(clock, nic, 0, 1500, 300e6) // 300 Mbit to keep event count modest
+	if err != nil {
+		t.Fatal(err)
+	}
 	flow.Attach(sock)
 	h.Start()
 	k.StartAll()
@@ -137,7 +140,10 @@ func TestUDPMixedCoRunSuffers(t *testing.T) {
 	hog := guest.NewKernel(h, "hogvm", 1, ksym.Generate(2), guest.DefaultParams())
 	hog.NewThread(0, "lookbusy", &busyLoop{})
 
-	flow := NewUDPFlow(clock, nic, 0, 1500, 300e6)
+	flow, err := NewUDPFlow(clock, nic, 0, 1500, 300e6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	flow.Attach(sock)
 	h.Start()
 	k.StartAll()
@@ -155,7 +161,10 @@ func TestUDPMixedCoRunSuffers(t *testing.T) {
 
 func TestTCPWindowNeverExceeded(t *testing.T) {
 	clock, h, k, nic, sock := ioSetup(t, 2)
-	flow := NewTCPFlow(clock, nic, 0, 1500, 16, 1e9, 50*simtime.Microsecond)
+	flow, err := NewTCPFlow(clock, nic, 0, 1500, 16, 1e9, 50*simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	flow.Attach(sock)
 	h.Start()
 	k.StartAll()
@@ -173,7 +182,10 @@ func TestTCPWindowNeverExceeded(t *testing.T) {
 
 func TestTCPSoloNearLineRate(t *testing.T) {
 	clock, h, k, nic, sock := ioSetup(t, 2)
-	flow := NewTCPFlow(clock, nic, 0, 1500, 64, 1e9, 50*simtime.Microsecond)
+	flow, err := NewTCPFlow(clock, nic, 0, 1500, 64, 1e9, 50*simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	flow.Attach(sock)
 	h.Start()
 	k.StartAll()
@@ -207,7 +219,10 @@ func TestTCPAckClockStallsWhenGuestStarved(t *testing.T) {
 
 	solo := func() float64 {
 		c2, h2, k2, nic2, sock2 := ioSetup(t, 2)
-		f2 := NewTCPFlow(c2, nic2, 0, 1500, 64, 1e9, 50*simtime.Microsecond)
+		f2, err := NewTCPFlow(c2, nic2, 0, 1500, 64, 1e9, 50*simtime.Microsecond)
+		if err != nil {
+			t.Fatal(err)
+		}
 		f2.Attach(sock2)
 		h2.Start()
 		k2.StartAll()
@@ -216,7 +231,10 @@ func TestTCPAckClockStallsWhenGuestStarved(t *testing.T) {
 		return f2.GoodputBps()
 	}()
 
-	flow := NewTCPFlow(clock, nic, 0, 1500, 64, 1e9, 50*simtime.Microsecond)
+	flow, err := NewTCPFlow(clock, nic, 0, 1500, 64, 1e9, 50*simtime.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	flow.Attach(sock)
 	h.Start()
 	k.StartAll()
@@ -234,7 +252,10 @@ func TestUDPPacingInterval(t *testing.T) {
 	clock := simtime.NewClock()
 	h := hv.New(clock, hv.DefaultConfig())
 	nic := NewNIC(h, bareDom(h), 1<<20)
-	flow := NewUDPFlow(clock, nic, 0, 1500, 12e6) // 1500B at 12 Mbit => 1ms gap
+	flow, err := NewUDPFlow(clock, nic, 0, 1500, 12e6) // 1500B at 12 Mbit => 1ms gap
+	if err != nil {
+		t.Fatal(err)
+	}
 	if got := flow.interval(); got != simtime.Millisecond {
 		t.Fatalf("interval %v, want 1ms", got)
 	}
@@ -254,15 +275,19 @@ func TestFlowConstructorsValidate(t *testing.T) {
 	clock := simtime.NewClock()
 	h := hv.New(clock, hv.DefaultConfig())
 	nic := NewNIC(h, bareDom(h), 0)
-	mustPanic := func(fn func()) {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("expected panic")
-			}
-		}()
-		fn()
+	if _, err := NewUDPFlow(clock, nic, 0, 0, 1e9); err == nil {
+		t.Fatal("UDP flow accepted zero packet size")
 	}
-	mustPanic(func() { NewUDPFlow(clock, nic, 0, 0, 1e9) })
-	mustPanic(func() { NewUDPFlow(clock, nic, 0, 1500, 0) })
-	mustPanic(func() { NewTCPFlow(clock, nic, 0, 1500, 0, 1e9, 0) })
+	if _, err := NewUDPFlow(clock, nic, 0, 1500, 0); err == nil {
+		t.Fatal("UDP flow accepted zero rate")
+	}
+	if _, err := NewTCPFlow(clock, nic, 0, 1500, 0, 1e9, 0); err == nil {
+		t.Fatal("TCP flow accepted zero window")
+	}
+	if _, err := NewTCPFlow(clock, nic, 0, 0, 16, 1e9, 0); err == nil {
+		t.Fatal("TCP flow accepted zero packet size")
+	}
+	if _, err := NewTCPFlow(clock, nic, 0, 1500, 16, 0, 0); err == nil {
+		t.Fatal("TCP flow accepted zero link rate")
+	}
 }

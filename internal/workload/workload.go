@@ -84,13 +84,10 @@ func New(name string, k *guest.Kernel, seed uint64) (*App, error) {
 	return a, nil
 }
 
-// MustNew is New for tests and examples where the name is a literal.
-func MustNew(name string, k *guest.Kernel, seed uint64) *App {
-	a, err := New(name, k, seed)
-	if err != nil {
-		panic(err)
-	}
-	return a
+// Known reports whether name is a registered application.
+func Known(name string) bool {
+	_, ok := registry[name]
+	return ok
 }
 
 // cycleProg replays iterations produced by build, bumping the app's

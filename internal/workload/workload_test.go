@@ -45,14 +45,24 @@ func TestUnknownAppErrors(t *testing.T) {
 	}
 }
 
-func TestMustNewPanicsOnUnknown(t *testing.T) {
-	_, _, k := newVM(t, 2, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	MustNew("nope", k, 1)
+func TestKnown(t *testing.T) {
+	if Known("nope") {
+		t.Fatal("Known accepted an unregistered app")
+	}
+	if !Known("exim") {
+		t.Fatal("Known rejected a registered app")
+	}
+}
+
+// mustNew is the test-local helper replacing the removed panicking
+// constructor: constructor failures are now returned errors.
+func mustNew(t *testing.T, name string, k *guest.Kernel, seed uint64) *App {
+	t.Helper()
+	a, err := New(name, k, seed)
+	if err != nil {
+		t.Fatalf("New(%q): %v", name, err)
+	}
+	return a
 }
 
 func TestEveryAppMakesProgressSolo(t *testing.T) {
@@ -60,7 +70,7 @@ func TestEveryAppMakesProgressSolo(t *testing.T) {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			clock, h, k := newVM(t, 4, 4)
-			app := MustNew(name, k, 42)
+			app := mustNew(t, name, k, 42)
 			h.Start()
 			k.StartAll()
 			clock.RunUntil(500 * simtime.Millisecond)
@@ -74,7 +84,7 @@ func TestEveryAppMakesProgressSolo(t *testing.T) {
 func TestDeterministicUnits(t *testing.T) {
 	run := func() uint64 {
 		clock, h, k := newVM(t, 4, 4)
-		app := MustNew("exim", k, 7)
+		app := mustNew(t, "exim", k, 7)
 		h.Start()
 		k.StartAll()
 		clock.RunUntil(500 * simtime.Millisecond)
@@ -89,7 +99,7 @@ func TestDeterministicUnits(t *testing.T) {
 func TestSeedChangesSchedule(t *testing.T) {
 	run := func(seed uint64) uint64 {
 		clock, h, k := newVM(t, 2, 2)
-		app := MustNew("gmake", k, seed)
+		app := mustNew(t, "gmake", k, seed)
 		h.Start()
 		k.StartAll()
 		clock.RunUntil(200 * simtime.Millisecond)
@@ -102,7 +112,7 @@ func TestSeedChangesSchedule(t *testing.T) {
 
 func TestSingleThreadedSpecUsesOneVCPU(t *testing.T) {
 	clock, h, k := newVM(t, 4, 4)
-	MustNew("sjeng", k, 1)
+	mustNew(t, "sjeng", k, 1)
 	h.Start()
 	k.StartAll()
 	clock.RunUntil(200 * simtime.Millisecond)
@@ -119,7 +129,7 @@ func TestSingleThreadedSpecUsesOneVCPU(t *testing.T) {
 
 func TestDedupGeneratesShootdowns(t *testing.T) {
 	clock, h, k := newVM(t, 4, 4)
-	MustNew("dedup", k, 1)
+	mustNew(t, "dedup", k, 1)
 	h.Start()
 	k.StartAll()
 	clock.RunUntil(300 * simtime.Millisecond)
@@ -130,7 +140,7 @@ func TestDedupGeneratesShootdowns(t *testing.T) {
 
 func TestEximExercisesLocks(t *testing.T) {
 	clock, h, k := newVM(t, 4, 4)
-	MustNew("exim", k, 1)
+	mustNew(t, "exim", k, 1)
 	h.Start()
 	k.StartAll()
 	clock.RunUntil(300 * simtime.Millisecond)
@@ -143,7 +153,7 @@ func TestEximExercisesLocks(t *testing.T) {
 
 func TestSwaptionsStaysInUserMode(t *testing.T) {
 	clock, h, k := newVM(t, 2, 2)
-	MustNew("swaptions", k, 1)
+	mustNew(t, "swaptions", k, 1)
 	h.Start()
 	k.StartAll()
 	clock.RunUntil(300 * simtime.Millisecond)
@@ -191,7 +201,7 @@ func TestCoRunDegradesKernelBoundApps(t *testing.T) {
 	// kernel-bound app far more than a fair 2x.
 	solo := func(name string) uint64 {
 		clock, h, k := newVM(t, 12, 12)
-		app := MustNew(name, k, 3)
+		app := mustNew(t, name, k, 3)
 		h.Start()
 		k.StartAll()
 		clock.RunUntil(simtime.Second)
@@ -203,8 +213,8 @@ func TestCoRunDegradesKernelBoundApps(t *testing.T) {
 		h := hv.New(clock, cfg)
 		k1 := guest.NewKernel(h, name, 12, ksym.Generate(1), guest.DefaultParams())
 		k2 := guest.NewKernel(h, "swaptions", 12, ksym.Generate(2), guest.DefaultParams())
-		app := MustNew(name, k1, 3)
-		MustNew("swaptions", k2, 4)
+		app := mustNew(t, name, k1, 3)
+		mustNew(t, "swaptions", k2, 4)
 		h.Start()
 		k1.StartAll()
 		k2.StartAll()
