@@ -7,6 +7,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/core"
 	"github.com/microslicedcore/microsliced/internal/experiment"
 	"github.com/microslicedcore/microsliced/internal/fault"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/workload"
 )
@@ -63,6 +64,22 @@ type Scenario struct {
 	// Audit arms the scheduler invariant auditor even without faults;
 	// whatever it finds lands in Results.InvariantViolations.
 	Audit bool
+	// Telemetry, when non-nil, attaches the observability layer (per-vCPU
+	// state accounting, latency spans, flight recorder); the read-out lands
+	// in Results.Telemetry. The zero config is valid.
+	Telemetry *TelemetryConfig
+	// TraceJSON, when non-nil, receives the run's scheduling timeline as
+	// Chrome trace-event JSON, loadable in Perfetto (ui.perfetto.dev).
+	TraceJSON io.Writer
+}
+
+// TelemetryConfig enables and tunes a scenario's observability layer.
+type TelemetryConfig struct {
+	// FlightDir, when non-empty, is a directory receiving one JSON flight
+	// dump per triggering event (invariant violation or injected fault).
+	FlightDir string
+	// Label tags flight dump filenames (defaults to "run").
+	Label string
 }
 
 // FaultPlan configures seeded, deterministic fault injection: the same
@@ -230,7 +247,40 @@ type Results struct {
 	InvariantViolations []string
 	// FaultErrors lists injected faults the hypervisor refused to apply.
 	FaultErrors []string
+	// Telemetry is the observability read-out (nil unless
+	// Scenario.Telemetry was set).
+	Telemetry *Telemetry
 }
+
+// SpanStats summarizes one latency span kind's distribution.
+type SpanStats struct {
+	Count  uint64  `json:"count"`
+	P50us  float64 `json:"p50_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// Telemetry is a scenario's observability read-out.
+type Telemetry struct {
+	// Spans maps span kind — "wake_dispatch", "ipi_deliver",
+	// "lock_acquire", "disk_io", "net_rx" — to its latency distribution.
+	// Kinds never observed are absent.
+	Spans map[string]SpanStats `json:"spans"`
+	// BusiestPCPU is the pCPU with the most execution time, and
+	// BusiestPCPUSeconds that time.
+	BusiestPCPU        int     `json:"busiest_pcpu"`
+	BusiestPCPUSeconds float64 `json:"busiest_pcpu_seconds"`
+	// Dispatches and Steals count scheduler dispatches host-wide and how
+	// many of them ran a vCPU stolen from another pCPU's runqueue.
+	Dispatches uint64 `json:"dispatches"`
+	Steals     uint64 `json:"steals"`
+	// FlightDumps counts flight-recorder triggers during the run.
+	FlightDumps int `json:"flight_dumps"`
+}
+
+// Span returns the stats of one span kind (zero value if never observed).
+func (t *Telemetry) Span(kind string) SpanStats { return t.Spans[kind] }
 
 // VM returns the stats of the named VM (nil if absent).
 func (r *Results) VM(name string) *VMStats {
@@ -252,7 +302,10 @@ func Simulate(s Scenario) (*Results, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	setup := experiment.Setup{PCPUs: s.PCPUs, Audit: s.Audit}
+	setup := experiment.Setup{PCPUs: s.PCPUs, Audit: s.Audit, TraceExport: s.TraceJSON}
+	if s.Telemetry != nil {
+		setup.Obs = &obs.Config{FlightDir: s.Telemetry.FlightDir, Label: s.Telemetry.Label}
+	}
 	if s.Faults != nil {
 		fc := s.Faults.toConfig()
 		setup.Faults = &fc
@@ -310,6 +363,9 @@ func Simulate(s Scenario) (*Results, error) {
 	for i := range res.Violations {
 		out.InvariantViolations = append(out.InvariantViolations, res.Violations[i].Error())
 	}
+	if res.Telemetry != nil {
+		out.Telemetry = publicTelemetry(res.Telemetry)
+	}
 	for _, vm := range res.VMs {
 		st := VMStats{
 			Name:           vm.Name,
@@ -334,6 +390,36 @@ func Simulate(s Scenario) (*Results, error) {
 		out.VMs = append(out.VMs, st)
 	}
 	return out, nil
+}
+
+// publicTelemetry converts the internal observability summary to the
+// exported shape (nanoseconds become microseconds, residency collapses to
+// headline figures).
+func publicTelemetry(sum *obs.Summary) *Telemetry {
+	t := &Telemetry{
+		Spans:       make(map[string]SpanStats, len(sum.Spans)),
+		FlightDumps: len(sum.Flights),
+	}
+	for _, sp := range sum.Spans {
+		if sp.Count == 0 {
+			continue
+		}
+		t.Spans[sp.Kind] = SpanStats{
+			Count:  sp.Count,
+			P50us:  float64(sp.P50) / 1000,
+			P99us:  float64(sp.P99) / 1000,
+			P999us: float64(sp.P999) / 1000,
+			MaxUs:  float64(sp.Max) / 1000,
+		}
+	}
+	id, busy := sum.BusiestPCPU()
+	t.BusiestPCPU = id
+	t.BusiestPCPUSeconds = busy.Seconds()
+	for _, p := range sum.PCPUs {
+		t.Dispatches += p.Dispatches
+		t.Steals += p.Steals
+	}
+	return t
 }
 
 // IPerfResult is the outcome of an iPerf scenario.

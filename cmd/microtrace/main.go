@@ -1,10 +1,15 @@
 // Command microtrace runs a consolidation scenario with the trace ring
 // enabled (the simulator's xentrace) and prints a per-vCPU scheduling
 // analysis, a yield-RIP histogram resolved through each guest's
-// System.map, and optionally the raw record tail.
+// System.map, and optionally the raw record tail. Two subcommands work
+// with Chrome trace-event JSON instead:
 //
 //	microtrace -vms gmake,swaptions -mode off -seconds 1
 //	microtrace -vms dedup,swaptions -mode static -cores 3 -raw 40
+//	microtrace export -vms gmake,swaptions -mode dynamic -o trace.json
+//	microtrace validate trace.json
+//
+// Exported files load directly in Perfetto (https://ui.perfetto.dev).
 package main
 
 import (
@@ -18,23 +23,40 @@ import (
 	"github.com/microslicedcore/microsliced/internal/guest"
 	"github.com/microslicedcore/microsliced/internal/hv"
 	"github.com/microslicedcore/microsliced/internal/ksym"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/trace"
 	"github.com/microslicedcore/microsliced/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "export":
+			exportMain(os.Args[2:])
+			return
+		case "validate":
+			validateMain(os.Args[2:])
+			return
+		}
+	}
+	analyzeMain(os.Args[1:])
+}
+
+// analyzeMain is the classic mode: run, analyze, print text.
+func analyzeMain(args []string) {
+	fs := flag.NewFlagSet("microtrace", flag.ExitOnError)
 	var (
-		vms     = flag.String("vms", "gmake,swaptions", "comma-separated workloads, one VM each")
-		mode    = flag.String("mode", "off", "off, static, dynamic")
-		cores   = flag.Int("cores", 1, "micro cores for -mode static")
-		seconds = flag.Float64("seconds", 1, "simulated seconds")
-		pcpus   = flag.Int("pcpus", 12, "physical CPUs")
-		vcpus   = flag.Int("vcpus", 12, "vCPUs per VM")
-		ring    = flag.Int("ring", 1<<20, "trace ring capacity (records)")
-		raw     = flag.Int("raw", 0, "also dump the last N raw records")
+		vms     = fs.String("vms", "gmake,swaptions", "comma-separated workloads, one VM each")
+		mode    = fs.String("mode", "off", "off, static, dynamic")
+		cores   = fs.Int("cores", 1, "micro cores for -mode static")
+		seconds = fs.Float64("seconds", 1, "simulated seconds")
+		pcpus   = fs.Int("pcpus", 12, "physical CPUs")
+		vcpus   = fs.Int("vcpus", 12, "vCPUs per VM")
+		ring    = fs.Int("ring", 1<<20, "trace ring capacity (records)")
+		raw     = fs.Int("raw", 0, "also dump the last N raw records")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	clock := simtime.NewClock()
 	cfg := hv.DefaultConfig()
@@ -113,4 +135,116 @@ func main() {
 			fmt.Println(r)
 		}
 	}
+}
+
+// exportMain runs the same scenario shape as analyzeMain but writes the
+// trace ring as Chrome trace-event JSON.
+func exportMain(args []string) {
+	fs := flag.NewFlagSet("microtrace export", flag.ExitOnError)
+	var (
+		vms     = fs.String("vms", "gmake,swaptions", "comma-separated workloads, one VM each")
+		mode    = fs.String("mode", "off", "off, static, dynamic")
+		cores   = fs.Int("cores", 1, "micro cores for -mode static")
+		seconds = fs.Float64("seconds", 1, "simulated seconds")
+		pcpus   = fs.Int("pcpus", 12, "physical CPUs")
+		vcpus   = fs.Int("vcpus", 12, "vCPUs per VM")
+		ring    = fs.Int("ring", 1<<20, "trace ring capacity (records)")
+		out     = fs.String("o", "trace.json", "output file (- for stdout)")
+	)
+	fs.Parse(args)
+
+	clock := simtime.NewClock()
+	cfg := hv.DefaultConfig()
+	cfg.PCPUs = *pcpus
+	cfg.TraceCapacity = *ring
+	h := hv.New(clock, cfg)
+	h.SetObserver(obs.New(obs.Config{}))
+
+	names := map[int16]string{}
+	var kernels []*guest.Kernel
+	for i, app := range strings.Split(*vms, ",") {
+		app = strings.TrimSpace(app)
+		k := guest.NewKernel(h, fmt.Sprintf("%s-%d", app, i), *vcpus, ksym.Generate(1000+uint64(i)), guest.DefaultParams())
+		names[int16(k.Dom.ID)] = k.Dom.Name
+		if _, err := workload.New(app, k, uint64(11*(i+1))); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		kernels = append(kernels, k)
+	}
+	cc, err := coreConfig(*mode, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctrl, err := core.Attach(h, cc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h.Start()
+	ctrl.Start()
+	for i, k := range kernels {
+		if i == 0 {
+			k.StartAll()
+		} else {
+			k := k
+			clock.At(simtime.Time(i)*7*simtime.Millisecond, k.StartAll)
+		}
+	}
+	clock.RunUntil(simtime.Duration(*seconds * float64(simtime.Second)))
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := obs.WriteChromeTrace(w, h.Trace.Records(), obs.ExportMeta{DomainNames: names}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records; load at https://ui.perfetto.dev)\n", *out, len(h.Trace.Records()))
+	}
+}
+
+func coreConfig(mode string, cores int) (core.Config, error) {
+	cc := core.DefaultConfig()
+	switch mode {
+	case "off":
+		cc.Mode = core.ModeOff
+	case "static":
+		cc = core.StaticConfig(cores)
+	case "dynamic":
+	default:
+		return cc, fmt.Errorf("unknown mode %q", mode)
+	}
+	return cc, nil
+}
+
+// validateMain structurally checks a Chrome trace-event JSON file.
+func validateMain(args []string) {
+	fs := flag.NewFlagSet("microtrace validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: microtrace validate <trace.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	n, err := obs.ValidateChromeTrace(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", fs.Arg(0), err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok (%d events)\n", fs.Arg(0), n)
 }

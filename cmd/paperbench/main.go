@@ -7,24 +7,46 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"github.com/microslicedcore/microsliced/internal/core"
 	"github.com/microslicedcore/microsliced/internal/experiment"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/report"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
 func main() {
 	var (
-		runs   = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs,faultsweep or 'all'")
-		secs   = flag.Float64("seconds", 3, "simulated seconds per run")
-		par    = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS, 1 = serial)")
-		prof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		faults = flag.Bool("faults", false, "also run the fault-injection sweep (shorthand for adding faultsweep to -run)")
+		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs,faultsweep or 'all'")
+		secs     = flag.Float64("seconds", 3, "simulated seconds per run")
+		par      = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS, 1 = serial)")
+		prof     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		faults   = flag.Bool("faults", false, "also run the fault-injection sweep (shorthand for adding faultsweep to -run)")
+		verbose  = flag.Bool("v", false, "attach the observability layer and print one telemetry line per scenario")
+		traceOut = flag.String("trace-out", "", "run one demo consolidation scenario, write its Chrome trace-event JSON (Perfetto-loadable) to this file, and exit")
 	)
 	flag.Parse()
 	experiment.SetParallelism(*par)
+	if *traceOut != "" {
+		if err := exportTrace(*traceOut, simtime.Duration(*secs*float64(simtime.Second))); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *verbose {
+		experiment.SetDefaultObs(&obs.Config{})
+		var mu sync.Mutex
+		experiment.SetRunHook(func(s experiment.Setup, r *experiment.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintln(os.Stderr, telemetryLine(s, r))
+		})
+	}
 	if *prof != "" {
 		f, err := os.Create(*prof)
 		if err != nil {
@@ -117,4 +139,67 @@ func main() {
 		r.Render(os.Stdout)
 	}
 	fmt.Fprintf(os.Stderr, "total wall-clock: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// telemetryLine condenses one scenario's observability read-out: the
+// scenario's VMs, the three slowest span kinds by p99, and the busiest pCPU.
+func telemetryLine(s experiment.Setup, r *experiment.Result) string {
+	var b strings.Builder
+	names := make([]string, len(s.VMs))
+	for i, vm := range s.VMs {
+		names[i] = vm.Name
+	}
+	fmt.Fprintf(&b, "telemetry [%s]:", strings.Join(names, "+"))
+	if r.Telemetry == nil {
+		b.WriteString(" (no observer)")
+		return b.String()
+	}
+	spans := make([]obs.SpanStat, 0, len(r.Telemetry.Spans))
+	for _, sp := range r.Telemetry.Spans {
+		if sp.Count > 0 {
+			spans = append(spans, sp)
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].P99 > spans[j].P99 })
+	if len(spans) > 3 {
+		spans = spans[:3]
+	}
+	for _, sp := range spans {
+		fmt.Fprintf(&b, " %s p99=%v (n=%d)", sp.Kind, sp.P99, sp.Count)
+	}
+	if id, busy := r.Telemetry.BusiestPCPU(); id >= 0 {
+		fmt.Fprintf(&b, " | busiest p%d %.0f%%", id, 100*float64(busy)/float64(r.Duration))
+	}
+	return b.String()
+}
+
+// exportTrace runs one fixed consolidation scenario — gmake and swaptions
+// at 2:1 under the dynamic mechanism — with the full-run trace ring enabled
+// and writes the timeline as Chrome trace-event JSON.
+func exportTrace(path string, dur simtime.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	s := experiment.Setup{
+		VMs: []experiment.VMSpec{
+			{Name: "gmake", App: "gmake", Seed: 11},
+			{Name: "swaptions", App: "swaptions", Seed: 22},
+		},
+		Core:         core.DefaultConfig(),
+		Duration:     dur,
+		StaggerStart: true,
+		Obs:          &obs.Config{},
+		TraceExport:  f,
+	}
+	res, err := experiment.Run(s)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%v simulated; load at https://ui.perfetto.dev)\n", path, res.Duration)
+	return nil
 }

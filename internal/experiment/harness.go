@@ -7,6 +7,7 @@ package experiment
 
 import (
 	"fmt"
+	"io"
 	"runtime/debug"
 
 	"github.com/microslicedcore/microsliced/internal/core"
@@ -15,6 +16,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/hv"
 	"github.com/microslicedcore/microsliced/internal/ksym"
 	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/vdisk"
 	"github.com/microslicedcore/microsliced/internal/workload"
@@ -59,6 +61,13 @@ type Setup struct {
 	// Audit arms the scheduler invariant auditor; violations land in
 	// Result.Violations. Enabled automatically when Faults are active.
 	Audit bool
+	// Obs, when non-nil, attaches the observability layer: state
+	// accounting, latency spans and the flight recorder. The end-of-run
+	// read-out lands in Result.Telemetry.
+	Obs *obs.Config
+	// TraceExport, when non-nil, receives the run's trace ring as Chrome
+	// trace-event JSON after the clock stops. Implies a large trace ring.
+	TraceExport io.Writer
 }
 
 // watchdogLimit is the livelock threshold: this many consecutive events at
@@ -106,6 +115,9 @@ type Result struct {
 	// FaultErrs records injected faults the hypervisor refused to apply
 	// (e.g. a hotplug landing on the last normal-pool pCPU).
 	FaultErrs []string
+	// Telemetry is the observability read-out (nil unless Setup.Obs was
+	// set): span latency quantiles, per-vCPU/pCPU residency, flight dumps.
+	Telemetry *obs.Summary
 }
 
 // VM returns the result of the named VM.
@@ -144,6 +156,9 @@ func Run(s Setup) (res *Result, err error) {
 			return nil, fmt.Errorf("experiment: VM %s: VCPUs %d negative", vm.Name, vm.VCPUs)
 		}
 	}
+	if s.Obs == nil {
+		s.Obs = defaultObs.Load()
+	}
 	clock := simtime.NewClock()
 	cfg := hv.DefaultConfig()
 	if s.HVConfig != nil {
@@ -160,17 +175,38 @@ func Run(s Setup) (res *Result, err error) {
 		}
 		s.Audit = true
 	}
-	if s.Audit && cfg.TraceCapacity < 256 {
-		// Violations carry the trace-ring tail; make sure there is one.
+	if (s.Audit || s.Obs != nil) && cfg.TraceCapacity < 256 {
+		// Violations and flight dumps carry the trace-ring tail; make sure
+		// there is one.
 		cfg.TraceCapacity = 256
 	}
+	if s.TraceExport != nil && cfg.TraceCapacity < 1<<18 {
+		// Exported timelines want the whole run, not just a tail.
+		cfg.TraceCapacity = 1 << 18
+	}
 	h := hv.New(clock, cfg)
+	var observer *obs.Observer
+	if s.Obs != nil {
+		observer = obs.New(*s.Obs)
+		h.SetObserver(observer)
+	}
 	if plan != nil {
 		plan.Attach(h)
+		if observer != nil {
+			plan.OnFault = func(event string) {
+				observer.Flight(clock.Now(), "fault", event, h.Trace.Records())
+			}
+		}
 	}
 	var auditor *hv.Auditor
 	if s.Audit {
-		auditor = h.EnableAudit(hv.AuditConfig{})
+		acfg := hv.AuditConfig{}
+		if observer != nil {
+			acfg.OnViolation = func(e *hv.InvariantError) {
+				observer.Flight(e.Time, "invariant:"+e.Rule, e.Detail, e.Trace)
+			}
+		}
+		auditor = h.EnableAudit(acfg)
 	}
 
 	// Livelock watchdog: pure observation (never schedules events), so it
@@ -190,7 +226,12 @@ func Run(s Setup) (res *Result, err error) {
 		}
 		kernels[i] = guest.NewKernel(h, vm.Name, n, ksym.Generate(1000+uint64(i)), guest.DefaultParams())
 		if vm.Disk || workload.NeedsDisk(vm.App) {
-			kernels[i].AttachDisk(vdisk.New(clock, 5000+vm.Seed))
+			disk := vdisk.New(clock, 5000+vm.Seed)
+			if observer != nil {
+				disk.Obs = observer
+				disk.ObsDom = int16(kernels[i].Dom.ID)
+			}
+			kernels[i].AttachDisk(disk)
 		}
 		app, err := workload.New(vm.App, kernels[i], vm.Seed)
 		if err != nil {
@@ -239,6 +280,21 @@ func Run(s Setup) (res *Result, err error) {
 		for _, e := range plan.HotplugErrs {
 			res.FaultErrs = append(res.FaultErrs, e.Error())
 		}
+	}
+	if observer != nil {
+		res.Telemetry = observer.Summary(clock.Now())
+	}
+	if s.TraceExport != nil {
+		names := make(map[int16]string, len(kernels))
+		for i, k := range kernels {
+			names[int16(k.Dom.ID)] = s.VMs[i].Name
+		}
+		if err := obs.WriteChromeTrace(s.TraceExport, h.Trace.Records(), obs.ExportMeta{DomainNames: names}); err != nil {
+			return nil, fmt.Errorf("experiment: trace export: %v", err)
+		}
+	}
+	if fn := runHook.Load(); fn != nil {
+		(*fn)(s, res)
 	}
 	return res, nil
 }

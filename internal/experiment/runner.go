@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/microslicedcore/microsliced/internal/obs"
 )
 
 // Every scenario simulation is single-threaded and builds its entire world —
@@ -31,6 +33,33 @@ func Parallelism() int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// defaultObs, when set, is applied to every Setup whose Obs field is nil, so
+// a command-line flag can light up telemetry across entire scenario grids
+// without touching each generator. Read/written atomically: grids run on the
+// worker pool.
+var defaultObs atomic.Pointer[obs.Config]
+
+// SetDefaultObs installs (or, with nil, removes) the process-wide default
+// observability config consulted by Run when Setup.Obs is nil.
+func SetDefaultObs(cfg *obs.Config) { defaultObs.Store(cfg) }
+
+// runHook, when set, fires after every successful Run with the settled
+// Setup and Result. Callers needing mutual exclusion (e.g. printing)
+// synchronize inside the hook; Run invokes it from whichever worker
+// goroutine executed the scenario.
+var runHook atomic.Pointer[func(Setup, *Result)]
+
+// SetRunHook installs (or, with nil, removes) a callback observing every
+// completed scenario. The experiment grids stay oblivious; paperbench uses
+// this for its per-scenario telemetry read-out.
+func SetRunHook(fn func(Setup, *Result)) {
+	if fn == nil {
+		runHook.Store(nil)
+		return
+	}
+	runHook.Store(&fn)
 }
 
 // parallelDo invokes f(0), ..., f(n-1) on a bounded worker pool and waits

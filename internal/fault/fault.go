@@ -118,6 +118,18 @@ type Plan struct {
 	// HotplugErrs collects OfflinePCPU/OnlinePCPU refusals (e.g. the
 	// scheduled core became the last normal-pool pCPU); the run continues.
 	HotplugErrs []error
+
+	// OnFault, when non-nil, fires when a scheduled fault actually lands
+	// (hotplug events; not per-IPI draws, which would fire constantly). It is
+	// consulted at event time, so it may be set after Attach. The experiment
+	// harness uses it to trigger the flight recorder.
+	OnFault func(event string)
+}
+
+func (p *Plan) noteFault(event string) {
+	if p.OnFault != nil {
+		p.OnFault(event)
+	}
 }
 
 // New validates cfg and pre-draws the hotplug schedule for a run of the
@@ -186,12 +198,16 @@ func (p *Plan) Attach(h *hv.Hypervisor) {
 		h.Clock.AtLabeled(ev.Off, "hotplug-off", func() {
 			if err := h.OfflinePCPU(ev.PCPU); err != nil {
 				p.HotplugErrs = append(p.HotplugErrs, err)
+				return
 			}
+			p.noteFault(fmt.Sprintf("hotplug-off p%d", ev.PCPU))
 		})
 		h.Clock.AtLabeled(ev.On, "hotplug-on", func() {
 			if err := h.OnlinePCPU(ev.PCPU); err != nil {
 				p.HotplugErrs = append(p.HotplugErrs, err)
+				return
 			}
+			p.noteFault(fmt.Sprintf("hotplug-on p%d", ev.PCPU))
 		})
 	}
 }

@@ -276,6 +276,9 @@ func (v *VCPU) irqStageDone() {
 		for _, p := range c.pkts {
 			sock, ok := v.k.sockets[p.Flow]
 			if !ok {
+				if o := v.k.HV.Obs; o != nil {
+					o.Cancel(p.Span) // dropped: its net_rx span never closes
+				}
 				continue // no listener; drop
 			}
 			if w := sock.deliver(p); w != nil {
@@ -604,6 +607,9 @@ func (v *VCPU) opDone() {
 		p := sock.buf[0]
 		sock.buf = sock.buf[1:]
 		sock.Consumed++
+		if o := v.k.HV.Obs; o != nil {
+			o.End(p.Span, now) // net_rx closes at application-level consume
+		}
 		if sock.OnAppConsume != nil {
 			sock.OnAppConsume(p, now)
 		}

@@ -15,6 +15,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/hv"
 	"github.com/microslicedcore/microsliced/internal/ksym"
 	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
@@ -57,6 +58,7 @@ type Packet struct {
 	Flow   int
 	Bytes  int
 	SentAt simtime.Time
+	Span   obs.SpanRef // open net_rx span riding the packet (0: none)
 }
 
 // NetDevice is the guest-facing interface of a virtual NIC (implemented by

@@ -2,6 +2,7 @@ package guest
 
 import (
 	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
@@ -78,6 +79,11 @@ func (l *SpinLock) tryAcquire(t *Thread) bool {
 		return true
 	}
 	l.Contended++
+	if o := l.k.HV.Obs; o != nil {
+		// The lock_acquire span covers contended acquisitions only, matching
+		// LockStat: it opens at the failed fast path and closes at the grant.
+		t.lockSpan = o.Begin(obs.SpanLockAcquire, int16(l.k.Dom.ID), int16(t.vc.idx), 0, l.k.Clock.Now())
+	}
 	l.waiters = append(l.waiters, t)
 	return false
 }
@@ -104,6 +110,7 @@ func (l *SpinLock) release(t *Thread, now simtime.Time) {
 		l.holder = w
 		l.Acquisitions++
 		l.stat.Observe(int64(now - w.spinStart))
+		l.endAcquireSpan(w, now)
 		w.ph = phaseGranted
 		l.k.wakeThreadFrom(t.vc, w)
 		return
@@ -120,5 +127,14 @@ func (l *SpinLock) release(t *Thread, now simtime.Time) {
 	l.holder = w
 	l.Acquisitions++
 	l.stat.Observe(int64(now - w.spinStart))
+	l.endAcquireSpan(w, now)
 	w.granted(now)
+}
+
+// endAcquireSpan closes w's lock_acquire span at the grant.
+func (l *SpinLock) endAcquireSpan(w *Thread, now simtime.Time) {
+	if o := l.k.HV.Obs; o != nil {
+		o.End(w.lockSpan, now)
+		w.lockSpan = 0
+	}
 }

@@ -3,6 +3,7 @@ package guest
 import (
 	"fmt"
 
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
@@ -147,6 +148,7 @@ type Thread struct {
 	lock      *SpinLock // lock being waited for or held
 	shoot     *shootdown
 	spinStart simtime.Time
+	lockSpan  obs.SpanRef // open lock_acquire span while contending
 
 	switchedInAt simtime.Time
 	OpsDone      uint64

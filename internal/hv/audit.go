@@ -3,6 +3,7 @@ package hv
 import (
 	"fmt"
 
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/trace"
 )
@@ -31,12 +32,15 @@ import (
 
 // InvariantError is one detected inconsistency. It carries the tail of the
 // trace ring at detection time so the events leading up to the violation
-// can be inspected without re-running.
+// can be inspected without re-running, and — when an observer is attached —
+// the full per-vCPU residency table, so e.g. a starvation report shows
+// exactly how long each vCPU sat runnable versus running or blocked.
 type InvariantError struct {
-	Time   simtime.Time
-	Rule   string // short rule identifier, e.g. "placement", "starvation"
-	Detail string
-	Trace  []trace.Record
+	Time      simtime.Time
+	Rule      string // short rule identifier, e.g. "placement", "starvation"
+	Detail    string
+	Trace     []trace.Record
+	Residency []obs.VCPUResidency // nil when no observer was attached
 }
 
 func (e *InvariantError) Error() string {
@@ -49,6 +53,11 @@ type AuditConfig struct {
 	StarveHorizon simtime.Duration // max tolerated Runnable wait (default 1s)
 	MaxViolations int              // recording cap (default 32)
 	TraceDepth    int              // trace-ring tail attached per violation (default 32)
+
+	// OnViolation, when non-nil, fires synchronously for each recorded
+	// violation (not for ones dropped beyond MaxViolations). The experiment
+	// harness uses it to trigger the flight recorder.
+	OnViolation func(*InvariantError)
 }
 
 func (c AuditConfig) withDefaults(cfg Config) AuditConfig {
@@ -114,12 +123,19 @@ func (a *Auditor) report(rule, format string, args ...any) {
 	}
 	tail := make([]trace.Record, len(recs))
 	copy(tail, recs)
-	a.violations = append(a.violations, InvariantError{
+	e := InvariantError{
 		Time:   a.h.Clock.Now(),
 		Rule:   rule,
 		Detail: fmt.Sprintf(format, args...),
 		Trace:  tail,
-	})
+	}
+	if a.h.Obs != nil {
+		e.Residency = a.h.Obs.ResidencySnapshot(e.Time)
+	}
+	a.violations = append(a.violations, e)
+	if a.cfg.OnViolation != nil {
+		a.cfg.OnViolation(&a.violations[len(a.violations)-1])
+	}
 }
 
 func (a *Auditor) audit() {
@@ -202,8 +218,13 @@ func (a *Auditor) audit() {
 			if wait := now - v.runnableSince; wait > a.cfg.StarveHorizon {
 				if since, seen := a.starved[v]; !seen || since != v.runnableSince {
 					a.starved[v] = v.runnableSince
-					a.report("starvation", "%v runnable for %v (> horizon %v)",
-						v, wait, a.cfg.StarveHorizon)
+					if r, ok := a.residencyOf(v, now); ok {
+						a.report("starvation", "%v runnable for %v (> horizon %v); lifetime: ran %v, waited %v (boosted %v), blocked %v",
+							v, wait, a.cfg.StarveHorizon, r.Running, r.Wait(), r.Boosted, r.Blocked)
+					} else {
+						a.report("starvation", "%v runnable for %v (> horizon %v)",
+							v, wait, a.cfg.StarveHorizon)
+					}
 				}
 			}
 		case StateBlocked:
@@ -225,6 +246,15 @@ func (a *Auditor) audit() {
 			a.report("pool", "%v in pool %s that is neither home nor micro", v, v.pool.Name)
 		}
 	}
+}
+
+// residencyOf fetches one vCPU's accounting snapshot (ok=false when no
+// observer is attached).
+func (a *Auditor) residencyOf(v *VCPU, now simtime.Time) (obs.VCPUResidency, bool) {
+	if a.h.Obs == nil {
+		return obs.VCPUResidency{}, false
+	}
+	return a.h.Obs.VCPUResidencyOf(v.ID, now)
 }
 
 func poolName(pl *Pool) string {

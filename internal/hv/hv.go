@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/trace"
 )
@@ -205,6 +206,7 @@ type GuestContext interface {
 type PendingIRQ struct {
 	Vec  Vector
 	Data uint64
+	Span obs.SpanRef // open ipi_deliver span riding the interrupt (0: none)
 }
 
 // VCPU is a virtual CPU.
@@ -398,6 +400,13 @@ type Hypervisor struct {
 	Trace    *trace.Buffer
 	Hooks    Hooks
 
+	// Obs, when non-nil, receives scheduling-state transitions and latency
+	// spans. Every hot-path hook site is guarded by a nil check, so a run
+	// without an observer pays one predictable branch per event. The
+	// observer is strictly passive: attaching one never changes the
+	// scheduling decisions or the event sequence.
+	Obs *obs.Observer
+
 	normal  *Pool
 	micro   *Pool
 	pcpus   []*PCPU
@@ -405,6 +414,8 @@ type Hypervisor struct {
 	vcpus   []*VCPU
 
 	hot hvHot // interned hypervisor-wide counters for the per-event paths
+
+	stoleNext bool // pickNext→dispatch handoff: the pick came from a steal
 
 	started bool
 }
@@ -537,7 +548,23 @@ func (h *Hypervisor) AddVCPU(d *Domain, g GuestContext) *VCPU {
 	}
 	d.VCPUs = append(d.VCPUs, v)
 	h.vcpus = append(h.vcpus, v)
+	if h.Obs != nil {
+		h.Obs.EnsureVCPU(v.ID, int16(v.DomID), int16(v.Idx))
+	}
 	return v
+}
+
+// SetObserver attaches (or detaches, with nil) the observability layer,
+// registering every existing pCPU and vCPU with it. Call before Start.
+func (h *Hypervisor) SetObserver(o *obs.Observer) {
+	h.Obs = o
+	if o == nil {
+		return
+	}
+	o.EnsurePCPUs(len(h.pcpus))
+	for _, v := range h.vcpus {
+		o.EnsureVCPU(v.ID, int16(v.DomID), int16(v.Idx))
+	}
 }
 
 // Start launches the periodic scheduler tick. Call once, before running

@@ -3,6 +3,7 @@ package hv
 import (
 	"fmt"
 
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/trace"
 )
 
@@ -25,11 +26,18 @@ func (h *Hypervisor) SendVIPI(src, dst *VCPU, vec Vector, data uint64) {
 	if h.Hooks.OnVIPIRelay != nil {
 		h.Hooks.OnVIPIRelay(src, dst, vec)
 	}
+	// The ipi_deliver span opens at the send and rides the interrupt through
+	// retries and pending queues to the target's OnInterrupt, so its latency
+	// includes the full virtual-time discontinuity, not just injection cost.
+	var span obs.SpanRef
+	if h.Obs != nil {
+		span = h.Obs.Begin(obs.SpanIPIDeliver, int16(dst.DomID), int16(dst.Idx), uint64(vec), h.Clock.Now())
+	}
 	if h.Hooks.IPIFault != nil {
-		h.sendVIPIFaulty(dst, vec, data, 0)
+		h.sendVIPIFaulty(dst, vec, data, 0, span)
 		return
 	}
-	h.deliver(dst, vec, data)
+	h.deliver(dst, vec, data, span)
 }
 
 // sendVIPIFaulty consults the fault hook for each delivery attempt. A
@@ -38,12 +46,12 @@ func (h *Hypervisor) SendVIPI(src, dst *VCPU, vec Vector, data uint64) {
 // IPIRetryLimit drops the interrupt is delivered unconditionally — the
 // fault model perturbs timing but never loses an IPI outright, which would
 // wedge the guest rather than stress the scheduler.
-func (h *Hypervisor) sendVIPIFaulty(dst *VCPU, vec Vector, data uint64, attempt int) {
+func (h *Hypervisor) sendVIPIFaulty(dst *VCPU, vec Vector, data uint64, attempt int, span obs.SpanRef) {
 	delay, drop := h.Hooks.IPIFault(vec)
 	if drop && attempt < h.Cfg.IPIRetryLimit {
 		h.hot.vipiDropped.Inc()
 		h.Clock.AfterLabeled(h.Cfg.IPIRetryDelay, "ipi-retry", func() {
-			h.sendVIPIFaulty(dst, vec, data, attempt+1)
+			h.sendVIPIFaulty(dst, vec, data, attempt+1, span)
 		})
 		return
 	}
@@ -52,11 +60,11 @@ func (h *Hypervisor) sendVIPIFaulty(dst *VCPU, vec Vector, data uint64, attempt 
 	}
 	if delay > 0 {
 		h.Clock.AfterLabeled(delay, "ipi-delay", func() {
-			h.deliver(dst, vec, data)
+			h.deliver(dst, vec, data, span)
 		})
 		return
 	}
-	h.deliver(dst, vec, data)
+	h.deliver(dst, vec, data, span)
 }
 
 // InjectPIRQ is called by device models (internal/vnet) when a physical
@@ -77,7 +85,7 @@ func (h *Hypervisor) InjectPIRQ(d *Domain, vec Vector, data uint64) {
 		if h.Hooks.OnVIRQRelay != nil {
 			h.Hooks.OnVIRQRelay(target)
 		}
-		h.deliver(target, vec, data)
+		h.deliver(target, vec, data, 0)
 	})
 }
 
@@ -96,23 +104,23 @@ func (h *Hypervisor) InjectPIRQTo(target *VCPU, vec Vector, data uint64) {
 		if h.Hooks.OnVIRQRelay != nil {
 			h.Hooks.OnVIRQRelay(target)
 		}
-		h.deliver(target, vec, data)
+		h.deliver(target, vec, data, 0)
 	})
 }
 
 // deliver routes an interrupt to dst according to its scheduling state.
-func (h *Hypervisor) deliver(dst *VCPU, vec Vector, data uint64) {
+func (h *Hypervisor) deliver(dst *VCPU, vec Vector, data uint64, span obs.SpanRef) {
 	switch dst.state {
 	case StateRunning:
 		h.Clock.AfterLabeled(h.Cfg.IPILatency, "inject", func() {
-			h.injectOrQueue(dst, vec, data)
+			h.injectOrQueue(dst, vec, data, span)
 		})
 	case StateBlocked:
-		dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data})
+		dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data, Span: span})
 		h.Wake(dst, true)
 	case StateRunnable:
 		// The VTD case: the interrupt sits until the next scheduling turn.
-		dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data})
+		dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data, Span: span})
 		h.hot.irqDeferred.Inc()
 		dst.Dom.hot.irqDeferred.Inc()
 	}
@@ -121,12 +129,15 @@ func (h *Hypervisor) deliver(dst *VCPU, vec Vector, data uint64) {
 // injectOrQueue fires OnInterrupt if dst is still running with the guest
 // active, otherwise queues (the state may have changed during the
 // injection latency).
-func (h *Hypervisor) injectOrQueue(dst *VCPU, vec Vector, data uint64) {
+func (h *Hypervisor) injectOrQueue(dst *VCPU, vec Vector, data uint64, span obs.SpanRef) {
 	if dst.state == StateRunning && dst.warmupEv == nil {
+		if h.Obs != nil {
+			h.Obs.End(span, h.Clock.Now())
+		}
 		dst.Guest.OnInterrupt(h.Clock.Now(), vec, data)
 		return
 	}
-	dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data})
+	dst.pending = append(dst.pending, PendingIRQ{Vec: vec, Data: data, Span: span})
 	if dst.state == StateBlocked {
 		h.Wake(dst, true)
 	}
@@ -139,6 +150,9 @@ func (h *Hypervisor) drainPending(v *VCPU) {
 	for len(v.pending) > 0 && v.state == StateRunning {
 		irq := v.pending[0]
 		v.pending = v.pending[1:]
+		if h.Obs != nil {
+			h.Obs.End(irq.Span, h.Clock.Now())
+		}
 		v.Guest.OnInterrupt(h.Clock.Now(), irq.Vec, irq.Data)
 	}
 }
@@ -146,5 +160,5 @@ func (h *Hypervisor) drainPending(v *VCPU) {
 // DeliverLocal queues an interrupt directly to a vCPU, bypassing domain
 // routing. The guest model uses it for per-vCPU timer interrupts.
 func (h *Hypervisor) DeliverLocal(dst *VCPU, vec Vector, data uint64) {
-	h.deliver(dst, vec, data)
+	h.deliver(dst, vec, data, 0)
 }

@@ -51,6 +51,9 @@ func (h *Hypervisor) MigrateToMicro(v *VCPU) bool {
 	h.hot.migrMicro.Inc()
 	v.Dom.hot.migrMicro.Inc()
 	h.emit(trace.KindMigrate, v, 0, 0)
+	if h.Obs != nil {
+		h.Obs.SetMicro(v.ID, true, h.Clock.Now())
+	}
 	if idle != nil {
 		h.dispatch(idle, v)
 	} else {
@@ -67,6 +70,9 @@ func (h *Hypervisor) migrateHome(v *VCPU) {
 	v.pool = v.homePool
 	h.hot.migrHome.Inc()
 	h.emit(trace.KindMigrate, v, 1, 0)
+	if h.Obs != nil {
+		h.Obs.SetMicro(v.ID, false, h.Clock.Now())
+	}
 	p := h.homePCPU(v)
 	h.enqueue(p, v)
 	h.tickle(p)
@@ -168,6 +174,7 @@ func (h *Hypervisor) ShrinkMicro() bool {
 		h.descheduleCurrent(p)
 		h.setRunnable(cur)
 		cur.pool = cur.homePool
+		h.noteMicro(cur, false)
 		h.count("migrate.home")
 		q := h.homePCPU(cur)
 		h.enqueue(q, cur)
@@ -177,6 +184,7 @@ func (h *Hypervisor) ShrinkMicro() bool {
 		v := p.runq[0]
 		h.dequeue(v)
 		v.pool = v.homePool
+		h.noteMicro(v, false)
 		h.count("migrate.home")
 		q := h.homePCPU(v)
 		h.enqueue(q, v)
@@ -210,6 +218,14 @@ func (h *Hypervisor) SetMicroCount(n int) int {
 		}
 	}
 	return len(h.micro.pcpus)
+}
+
+// noteMicro records a pool-membership change with the observer (the inline
+// return-home paths that do not go through migrateHome/Block).
+func (h *Hypervisor) noteMicro(v *VCPU, micro bool) {
+	if h.Obs != nil {
+		h.Obs.SetMicro(v.ID, micro, h.Clock.Now())
+	}
 }
 
 func (h *Hypervisor) hasPinnedLoad(p *PCPU) bool {
@@ -285,6 +301,7 @@ func (h *Hypervisor) OfflinePCPU(id int) error {
 		h.setRunnable(cur)
 		if fromMicro {
 			cur.pool = cur.homePool
+			h.noteMicro(cur, false)
 			h.count("migrate.home")
 			q := h.homePCPU(cur)
 			h.enqueue(q, cur)
@@ -298,6 +315,7 @@ func (h *Hypervisor) OfflinePCPU(id int) error {
 		h.dequeue(v)
 		if fromMicro {
 			v.pool = v.homePool
+			h.noteMicro(v, false)
 			h.count("migrate.home")
 			q := h.homePCPU(v)
 			h.enqueue(q, v)

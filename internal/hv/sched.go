@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/trace"
 )
 
@@ -123,6 +124,9 @@ func loadOf(p *PCPU) int {
 func (h *Hypervisor) setRunnable(v *VCPU) {
 	if v.state != StateRunnable {
 		v.runnableSince = h.Clock.Now()
+		if h.Obs != nil {
+			h.Obs.Transition(v.ID, obs.StateRunnable, h.Clock.Now())
+		}
 	}
 	v.state = StateRunnable
 }
@@ -173,6 +177,7 @@ func (h *Hypervisor) pickNext(p *PCPU) *VCPU {
 		if best != nil {
 			h.dequeue(best)
 			h.hot.steal.Inc()
+			h.stoleNext = true
 			return best
 		}
 	}
@@ -202,6 +207,14 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 	v.lastPCPU = p.ID
 	p.cur = v
 	h.hot.dispatch.Inc()
+	stolen := h.stoleNext
+	h.stoleNext = false
+	if h.Obs != nil {
+		now := h.Clock.Now()
+		h.Obs.Transition(v.ID, obs.StateRunning, now)
+		h.Obs.WakeEnd(v.ID, now)
+		h.Obs.PCPUDispatched(p.ID, stolen)
+	}
 	h.emit(trace.KindSchedule, v, uint64(v.prio), 0)
 
 	slice := p.pool.Slice
@@ -259,6 +272,9 @@ func (h *Hypervisor) descheduleCurrent(p *PCPU) *VCPU {
 		ran := h.Clock.Now() - v.runningSince
 		v.ranTotal += ran
 		p.busy += ran
+		if h.Obs != nil {
+			h.Obs.PCPURan(p.ID, ran)
+		}
 		h.burnCredits(v)
 		v.Guest.OnDescheduled(h.Clock.Now())
 	}
@@ -341,11 +357,17 @@ func (h *Hypervisor) Block(v *VCPU) {
 	h.emit(trace.KindBlock, v, 0, 0)
 	h.descheduleCurrent(p)
 	v.state = StateBlocked
+	if h.Obs != nil {
+		h.Obs.Transition(v.ID, obs.StateBlocked, h.Clock.Now())
+	}
 	if v.pool.ReturnHome && v.pool != v.homePool {
 		// Leaving the micro pool: the vCPU simply belongs home again.
 		v.pool = v.homePool
 		h.hot.migrHome.Inc()
 		h.emit(trace.KindMigrate, v, 1, 0)
+		if h.Obs != nil {
+			h.Obs.SetMicro(v.ID, false, h.Clock.Now())
+		}
 	}
 	h.schedule(p)
 }
@@ -360,11 +382,17 @@ func (h *Hypervisor) Wake(v *VCPU, boost bool) {
 	}
 	h.setRunnable(v)
 	v.prio = v.basePrio()
+	if h.Obs != nil {
+		h.Obs.WakeBegin(v.ID, h.Clock.Now())
+	}
 	if boost && h.Cfg.BoostEnabled && !v.pool.NoBoost {
 		v.prio = PrioBoost
 		v.boosted = true
 		h.hot.boost.Inc()
 		h.emit(trace.KindBoost, v, 0, 0)
+		if h.Obs != nil {
+			h.Obs.Transition(v.ID, obs.StateBoosted, h.Clock.Now())
+		}
 	}
 	h.emit(trace.KindWake, v, 0, 0)
 	p := h.homePCPU(v)

@@ -7,6 +7,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -61,7 +62,7 @@ func (s *Summary) Mean() float64 {
 	if s.count == 0 {
 		return 0
 	}
-	return s.sum / float64(s.count)
+	return finite(s.sum / float64(s.count))
 }
 
 // Min returns the smallest sample (0 when empty).
@@ -69,7 +70,7 @@ func (s *Summary) Min() float64 {
 	if s.count == 0 {
 		return 0
 	}
-	return s.min
+	return finite(s.min)
 }
 
 // Max returns the largest sample (0 when empty).
@@ -77,7 +78,7 @@ func (s *Summary) Max() float64 {
 	if s.count == 0 {
 		return 0
 	}
-	return s.max
+	return finite(s.max)
 }
 
 // StdDev returns the population standard deviation (0 when empty).
@@ -86,11 +87,27 @@ func (s *Summary) StdDev() float64 {
 		return 0
 	}
 	m := s.Mean()
-	v := s.sumSq/float64(s.count) - m*m
+	v := finite(s.sumSq/float64(s.count) - m*m)
 	if v < 0 {
 		v = 0
 	}
 	return math.Sqrt(v)
+}
+
+// finite clamps the non-finite values that overflow-adjacent samples (e.g.
+// math.MaxFloat64, whose square is +Inf) produce in the running sums, so no
+// NaN or Inf ever escapes into results — where it would poison downstream
+// aggregation and serialise as invalid JSON.
+func finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
 }
 
 // Histogram is a log-bucketed latency histogram. Values are expected to be
@@ -129,8 +146,11 @@ func (h *Histogram) bucketIndex(v int64) int {
 	}
 	exp := 63 - leadingZeros64(uint64(v)) // floor(log2 v), 0..62
 	base := int64(1) << uint(exp)
-	// Position within the octave, [0, sub).
-	frac := int((v - base) * int64(h.sub) / base)
+	// Position within the octave, [0, sub). Computed in float64 because the
+	// int64 product (v-base)*sub overflows for v near the top octaves; the
+	// result is identical for every v whose octave offset fits in a float64
+	// mantissa, and merely coarser (never out of range) above that.
+	frac := int(float64(v-base) * float64(h.sub) / float64(base))
 	if frac >= h.sub {
 		frac = h.sub - 1
 	}
@@ -162,7 +182,11 @@ func (h *Histogram) bucketLower(idx int) int64 {
 	exp := idx / h.sub
 	frac := idx % h.sub
 	base := int64(1) << uint(exp)
-	return base + base*int64(frac)/int64(h.sub)
+	// base*frac needs up to 69 bits in the top octaves; compute the exact
+	// floor(base*frac/sub) through a 128-bit intermediate.
+	hi, lo := bits.Mul64(uint64(base), uint64(frac))
+	q, _ := bits.Div64(hi, lo, uint64(h.sub))
+	return base + int64(q)
 }
 
 // Observe records one value.
@@ -181,10 +205,23 @@ func (h *Histogram) Count() uint64 { return h.summary.Count() }
 func (h *Histogram) Mean() float64 { return h.summary.Mean() }
 
 // Min returns the exact minimum recorded value.
-func (h *Histogram) Min() int64 { return int64(h.summary.Min()) }
+func (h *Histogram) Min() int64 { return clampToInt64(h.summary.Min()) }
 
 // Max returns the exact maximum recorded value.
-func (h *Histogram) Max() int64 { return int64(h.summary.Max()) }
+func (h *Histogram) Max() int64 { return clampToInt64(h.summary.Max()) }
+
+// clampToInt64 converts a float64 tracked by the inner Summary back to
+// int64. float64(MaxInt64) rounds up to 2^63, which over-converts and wraps
+// negative; saturate instead.
+func clampToInt64(v float64) int64 {
+	if v >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if v <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(v)
+}
 
 // Quantile returns an approximation of the q-quantile (q in [0,1]).
 // It returns 0 for an empty histogram.
@@ -207,7 +244,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 			return h.bucketLower(i)
 		}
 	}
-	return int64(h.summary.Max())
+	return h.Max()
 }
 
 // Merge adds every bucket of other into h. Both histograms must have the

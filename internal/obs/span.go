@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+// SpanKind types a latency span. Each kind maps one of the paper's
+// end-to-end service paths onto an open/close pair at existing hook points.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	// SpanWakeDispatch measures hv.Wake (Blocked→Runnable) to the next
+	// hv dispatch of the same vCPU — the scheduling turnaround of a woken
+	// critical service, the quantity the micro-sliced pool exists to bound.
+	SpanWakeDispatch SpanKind = iota
+	// SpanIPIDeliver measures hv.SendVIPI to the guest's OnInterrupt —
+	// including fault retries, injection latency and time spent pending on
+	// a runnable-but-preempted target (the VTD case).
+	SpanIPIDeliver
+	// SpanLockAcquire measures a guest lock's contended acquisition: the
+	// failed fast path to the grant (spinning or sleeping inclusive).
+	SpanLockAcquire
+	// SpanDiskIO measures vdisk Submit to device completion (queueing plus
+	// service, before the completion IRQ is even injected).
+	SpanDiskIO
+	// SpanNetRx measures NIC ring admission to application-level consume —
+	// the full Figure 2 delivery chain.
+	SpanNetRx
+	numSpanKinds
+)
+
+var spanNames = [numSpanKinds]string{
+	SpanWakeDispatch: "wake_dispatch",
+	SpanIPIDeliver:   "ipi_deliver",
+	SpanLockAcquire:  "lock_acquire",
+	SpanDiskIO:       "disk_io",
+	SpanNetRx:        "net_rx",
+}
+
+// String names the span kind.
+func (k SpanKind) String() string {
+	if k < numSpanKinds {
+		return spanNames[k]
+	}
+	return "span(?)"
+}
+
+// SpanKinds lists every kind name in declaration order.
+func SpanKinds() []string {
+	out := make([]string, numSpanKinds)
+	copy(out, spanNames[:])
+	return out
+}
+
+// SpanRef is a handle to an open span. The zero value means "no span", so a
+// ref can be embedded in hot structs (PendingIRQ, disk requests, packets)
+// at no cost when observation is off. Refs are valid until End or Cancel.
+type SpanRef int32
+
+// openSpan is one slot of the open-span table.
+type openSpan struct {
+	kind  SpanKind
+	live  bool
+	dom   int16
+	vcpu  int16
+	arg   uint64
+	start simtime.Time
+}
+
+// spanTable is a free-listed slot pool: Begin reuses a freed slot when one
+// exists and grows the table otherwise, so steady-state span traffic
+// allocates nothing (the table high-water-marks at the maximum number of
+// concurrently open spans).
+type spanTable struct {
+	slots []openSpan
+	free  []int32
+}
+
+func (t *spanTable) open() int {
+	return len(t.slots) - len(t.free)
+}
+
+// Begin opens a span of kind k attributed to (dom, vcpu) with a
+// kind-specific payload arg, returning its ref. Allocation-free at steady
+// state.
+func (o *Observer) Begin(k SpanKind, dom, vcpu int16, arg uint64, now simtime.Time) SpanRef {
+	t := &o.spans
+	var idx int32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.slots = append(t.slots, openSpan{})
+		idx = int32(len(t.slots) - 1)
+	}
+	s := &t.slots[idx]
+	s.kind, s.live = k, true
+	s.dom, s.vcpu, s.arg = dom, vcpu, arg
+	s.start = now
+	return SpanRef(idx + 1)
+}
+
+// End closes ref at now, recording its latency into the kind's histogram.
+// A zero or already-closed ref is a no-op. Allocation-free at steady state.
+func (o *Observer) End(ref SpanRef, now simtime.Time) {
+	idx := int32(ref) - 1
+	if idx < 0 || int(idx) >= len(o.spans.slots) {
+		return
+	}
+	s := &o.spans.slots[idx]
+	if !s.live {
+		return
+	}
+	o.hists[s.kind].Observe(int64(now - s.start))
+	s.live = false
+	o.spans.free = append(o.spans.free, idx)
+}
+
+// Cancel discards ref without recording (e.g. a tail-dropped packet whose
+// delivery span will never close). A zero or closed ref is a no-op.
+func (o *Observer) Cancel(ref SpanRef) {
+	idx := int32(ref) - 1
+	if idx < 0 || int(idx) >= len(o.spans.slots) {
+		return
+	}
+	s := &o.spans.slots[idx]
+	if !s.live {
+		return
+	}
+	s.live = false
+	o.spans.free = append(o.spans.free, idx)
+}
+
+// OpenSpan describes one still-open span (flight-recorder snapshot).
+type OpenSpan struct {
+	Kind  string       `json:"kind"`
+	Dom   int16        `json:"dom"`
+	VCPU  int16        `json:"vcpu"`
+	Arg   uint64       `json:"arg"`
+	Start simtime.Time `json:"start_ns"`
+}
+
+// OpenSpans snapshots the open-span table (cold path).
+func (o *Observer) OpenSpans() []OpenSpan {
+	var out []OpenSpan
+	for i := range o.spans.slots {
+		s := &o.spans.slots[i]
+		if !s.live {
+			continue
+		}
+		out = append(out, OpenSpan{
+			Kind: s.kind.String(), Dom: s.dom, VCPU: s.vcpu,
+			Arg: s.arg, Start: s.start,
+		})
+	}
+	return out
+}

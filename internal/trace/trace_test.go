@@ -108,6 +108,30 @@ func TestKindString(t *testing.T) {
 	}
 }
 
+// Every declared kind below kindCount must have a non-empty name, so no two
+// kinds ever share the generic kind(N) fallback in traces, flight dumps or
+// timeline exports.
+func TestKindNamesComplete(t *testing.T) {
+	if len(kindNames) != int(kindCount) {
+		t.Fatalf("kindNames has %d entries, want %d (kindCount)", len(kindNames), kindCount)
+	}
+	seen := make(map[string]Kind, kindCount)
+	for k := Kind(0); k < kindCount; k++ {
+		name := kindNames[k]
+		if name == "" {
+			t.Errorf("kind %d has no kindNames entry", k)
+			continue
+		}
+		if k.String() != name {
+			t.Errorf("Kind(%d).String()=%q, want %q", k, k.String(), name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+}
+
 func TestRecordString(t *testing.T) {
 	r := Record{Time: 1500, Kind: KindMigrate, Dom: 2, VCPU: 3, PCPU: 4, Arg0: 0xff}
 	s := r.String()

@@ -13,6 +13,7 @@ package vdisk
 import (
 	"github.com/microslicedcore/microsliced/internal/guest"
 	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/rng"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
@@ -29,6 +30,7 @@ type request struct {
 	write  bool
 	done   func()
 	queued simtime.Time
+	span   obs.SpanRef // open disk_io span (0: none)
 }
 
 // Disk is a virtual block device.
@@ -52,6 +54,12 @@ type Disk struct {
 	// Latency records device-level request latency (queue + service), in
 	// nanoseconds.
 	Latency *metrics.Histogram
+
+	// Obs, when non-nil, receives a disk_io span per request (submit to
+	// device completion), attributed to domain ObsDom. Set both at wiring
+	// time; the disk itself has no hypervisor reference.
+	Obs    *obs.Observer
+	ObsDom int16
 }
 
 // New creates a disk with the default performance model.
@@ -84,7 +92,11 @@ func (d *Disk) Submit(bytes int, write bool, done func()) {
 	} else {
 		d.Reads++
 	}
-	d.queue = append(d.queue, request{bytes: bytes, write: write, done: done, queued: d.clock.Now()})
+	req := request{bytes: bytes, write: write, done: done, queued: d.clock.Now()}
+	if d.Obs != nil {
+		req.span = d.Obs.Begin(obs.SpanDiskIO, d.ObsDom, -1, uint64(bytes), req.queued)
+	}
+	d.queue = append(d.queue, req)
 	d.pump()
 }
 
@@ -104,6 +116,9 @@ func (d *Disk) pump() {
 			d.inflight--
 			d.Completed++
 			d.Latency.Observe(int64(d.clock.Now() - req.queued))
+			if d.Obs != nil {
+				d.Obs.End(req.span, d.clock.Now())
+			}
 			if req.done != nil {
 				req.done()
 			}

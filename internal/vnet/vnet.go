@@ -14,6 +14,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/guest"
 	"github.com/microslicedcore/microsliced/internal/hv"
 	"github.com/microslicedcore/microsliced/internal/metrics"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
@@ -56,6 +57,12 @@ func (n *NIC) Rx(p guest.Packet) {
 	if len(n.ring) >= n.cap {
 		n.RxDrops++
 		return
+	}
+	if o := n.h.Obs; o != nil {
+		// The net_rx span opens at ring admission and rides the packet to
+		// application-level consume (Figure 2's full delivery chain); the
+		// guest cancels it if the packet is dropped for want of a listener.
+		p.Span = o.Begin(obs.SpanNetRx, int16(n.dom.ID), int16(n.dom.IRQVCPU), p.Seq, n.h.Clock.Now())
 	}
 	n.ring = append(n.ring, p)
 	n.RxPackets++
