@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/microslicedcore/microsliced/internal/check"
 	"github.com/microslicedcore/microsliced/internal/core"
 	"github.com/microslicedcore/microsliced/internal/experiment"
 	"github.com/microslicedcore/microsliced/internal/obs"
@@ -27,10 +28,14 @@ func main() {
 		prof     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		faults   = flag.Bool("faults", false, "also run the fault-injection sweep (shorthand for adding faultsweep to -run)")
 		verbose  = flag.Bool("v", false, "attach the observability layer and print one telemetry line per scenario")
+		checked  = flag.Bool("check", false, "run the conformance conservation checks after every scenario (fails fast on a scheduler accounting violation)")
 		traceOut = flag.String("trace-out", "", "run one demo consolidation scenario, write its Chrome trace-event JSON (Perfetto-loadable) to this file, and exit")
 	)
 	flag.Parse()
 	experiment.SetParallelism(*par)
+	if *checked {
+		experiment.SetCheckHook(check.Conservation)
+	}
 	if *traceOut != "" {
 		if err := exportTrace(*traceOut, simtime.Duration(*secs*float64(simtime.Second))); err != nil {
 			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)

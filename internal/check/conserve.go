@@ -1,0 +1,157 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/microslicedcore/microsliced/internal/experiment"
+	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+// sumCounters are the per-event counters kept in triplicate — per-vCPU or
+// per-domain and hypervisor-wide — whose ledgers must agree exactly.
+var sumCounters = []string{
+	"yield.ple", "yield.ipi", "yield.halt", "yield.other", "yield.total",
+	"vipi.sent", "virq.sent", "irq.deferred", "migrate.micro",
+}
+
+// yieldReasons pairs each counter name with its YieldReason for the
+// per-vCPU ledger walk.
+var yieldReasons = []struct {
+	name   string
+	reason hv.YieldReason
+}{
+	{"yield.ple", hv.YieldPLE},
+	{"yield.ipi", hv.YieldIPIWait},
+	{"yield.halt", hv.YieldHalt},
+	{"yield.other", hv.YieldOther},
+}
+
+// Conservation verifies the post-run accounting laws on a finished
+// simulation world. It is shaped as an experiment.Setup.PostCheck (and as
+// the process-wide hook paperbench -check installs):
+//
+//   - Σ per-vCPU RanTotal == Σ per-pCPU Busy (runtime is double-entry)
+//   - every credit balance within [CreditFloor, CreditCap]
+//   - per-vCPU yield counts sum to per-domain counters, per-domain
+//     counters sum to the hypervisor-wide hot counters, and yield.total
+//     equals the sum over reasons, at every level
+//   - Σ per-vCPU MicroVisits == migrate.micro, and migrate.home never
+//     exceeds migrate.micro (nothing leaves the micro pool it never entered)
+//   - observer residency totals equal wall virtual time per vCPU, and the
+//     observer's per-pCPU busy mirror equals the hypervisor's
+//   - every opened span is closed, cancelled or still reported open
+//   - the invariant auditor (when armed) found nothing
+func Conservation(pr *experiment.PostRun) error {
+	var errs []string
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+	h := pr.HV
+	cfg := h.Cfg
+
+	var ran, busy simtime.Duration
+	for _, v := range h.VCPUs() {
+		ran += v.RanTotal()
+	}
+	for _, p := range h.AllPCPUs() {
+		busy += p.Busy()
+		if p.Busy() < 0 || p.Busy() > simtime.Duration(pr.Now) {
+			fail("pCPU %d busy %v outside [0, %v]", p.ID, p.Busy(), pr.Now)
+		}
+	}
+	if ran != busy {
+		fail("Σ vCPU RanTotal %v != Σ pCPU Busy %v", ran, busy)
+	}
+
+	for _, v := range h.VCPUs() {
+		if c := v.Credits(); c < cfg.CreditFloor || c > cfg.CreditCap {
+			fail("d%dv%d credits %d outside [%d, %d]", v.DomID, v.Idx, c, cfg.CreditFloor, cfg.CreditCap)
+		}
+	}
+
+	hvSnap := h.Counters.Snapshot()
+	var microVisits uint64
+	for _, v := range h.VCPUs() {
+		microVisits += v.MicroVisits()
+	}
+	if got := hvSnap["migrate.micro"]; microVisits != got {
+		fail("Σ vCPU MicroVisits %d != migrate.micro %d", microVisits, got)
+	}
+	if hvSnap["migrate.home"] > hvSnap["migrate.micro"] {
+		fail("migrate.home %d exceeds migrate.micro %d", hvSnap["migrate.home"], hvSnap["migrate.micro"])
+	}
+
+	for _, d := range h.Domains() {
+		var domYields uint64
+		for _, yr := range yieldReasons {
+			var sum uint64
+			for _, v := range d.VCPUs {
+				sum += v.YieldsBy(yr.reason)
+			}
+			if got := d.Counters.Value(yr.name); sum != got {
+				fail("domain %d: Σ vCPU %s %d != domain counter %d", d.ID, yr.name, sum, got)
+			}
+			domYields += sum
+		}
+		if got := d.Counters.Value("yield.total"); domYields != got {
+			fail("domain %d: Σ yield reasons %d != yield.total %d", d.ID, domYields, got)
+		}
+	}
+	for _, name := range sumCounters {
+		var sum uint64
+		for _, d := range h.Domains() {
+			sum += d.Counters.Value(name)
+		}
+		if got := hvSnap[name]; sum != got {
+			fail("Σ domain %s %d != hypervisor %s %d", name, sum, name, got)
+		}
+	}
+	var yieldByReason uint64
+	for _, yr := range yieldReasons {
+		yieldByReason += hvSnap[yr.name]
+	}
+	if got := hvSnap["yield.total"]; yieldByReason != got {
+		fail("Σ hypervisor yield reasons %d != yield.total %d", yieldByReason, got)
+	}
+	var virqRecv uint64
+	for _, v := range h.VCPUs() {
+		virqRecv += v.VIRQReceived()
+	}
+	if sent := hvSnap["virq.sent"]; virqRecv > sent {
+		fail("Σ vCPU VIRQReceived %d exceeds virq.sent %d", virqRecv, sent)
+	}
+
+	if o := pr.Obs; o != nil {
+		for _, r := range o.ResidencySnapshot(pr.Now) {
+			total := r.Running + r.Runnable + r.Boosted + r.Blocked
+			if total != simtime.Duration(pr.Now) {
+				fail("d%dv%d residency total %v != wall time %v", r.Dom, r.VCPU, total, pr.Now)
+			}
+			if r.MicroTotal > simtime.Duration(pr.Now) || r.MicroRunning > r.Running {
+				fail("d%dv%d micro residency (%v run / %v total) out of bounds", r.Dom, r.VCPU, r.MicroRunning, r.MicroTotal)
+			}
+		}
+		for _, p := range o.PCPUSnapshot() {
+			if hvBusy := h.PCPU(p.ID).Busy(); p.Busy != hvBusy {
+				fail("pCPU %d: observer busy %v != hypervisor busy %v", p.ID, p.Busy, hvBusy)
+			}
+		}
+		begun, closed, cancelled := o.SpanCounts()
+		open := uint64(o.OpenSpanCount())
+		if begun != closed+cancelled+open {
+			fail("span ledger: begun %d != closed %d + cancelled %d + open %d", begun, closed, cancelled, open)
+		}
+	}
+
+	if n := len(pr.Result.Violations); n > 0 {
+		v := pr.Result.Violations[0]
+		fail("%d invariant violations (first: %s at t=%v: %s)", n, v.Rule, v.Time, v.Detail)
+	}
+
+	if len(errs) > 0 {
+		return fmt.Errorf("conservation: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Fixture is a replayable record of one conformance failure: the generating
+// seed, the violated relation, and both the original and the shrunk
+// scenario. Written as JSON so CI can upload it as an artifact and a
+// developer can replay it locally with ReplayFixture.
+type Fixture struct {
+	Seed     uint64   `json:"seed"`
+	Err      string   `json:"error"`
+	Original Scenario `json:"original"`
+	Shrunk   Scenario `json:"shrunk"`
+}
+
+// WriteFixture writes f under dir (created if missing) as
+// fixture-seed<seed>.json and returns the path.
+func WriteFixture(dir string, f *Fixture) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("check: fixture dir: %w", err)
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("check: marshal fixture: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("fixture-seed%d.json", f.Seed))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("check: write fixture: %w", err)
+	}
+	return path, nil
+}
+
+// LoadFixture reads a fixture file written by WriteFixture.
+func LoadFixture(path string) (*Fixture, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("check: read fixture: %w", err)
+	}
+	var f Fixture
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("check: parse fixture %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// ReplayFixture re-checks a fixture's shrunk scenario (falling back to the
+// original when no shrink was recorded) and returns the relation error it
+// reproduces, or nil if the failure no longer occurs.
+func ReplayFixture(f *Fixture) error {
+	sc := f.Shrunk
+	if len(sc.VMs) == 0 {
+		sc = f.Original
+	}
+	var c Checker
+	return c.Check(sc)
+}

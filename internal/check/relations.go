@@ -1,0 +1,154 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"github.com/microslicedcore/microsliced/internal/experiment"
+	"github.com/microslicedcore/microsliced/internal/obs"
+)
+
+// Checker evaluates scenarios against the metamorphic relations and the
+// post-run conservation laws. The zero value is ready to use.
+type Checker struct {
+	// mutate, when non-nil, corrupts the baseline Result before the variant
+	// comparison — the fault-injection port tests use to prove a real
+	// accounting bug cannot slip through the harness.
+	mutate func(*experiment.Result)
+}
+
+// relation is one must-not-matter perturbation of a base scenario.
+type relation struct {
+	name    string
+	perturb func(*experiment.Setup)
+}
+
+// relations lists every perturbation applied to each scenario. Each one is
+// an executable form of a promise the simulator makes: attaching the
+// observer, enabling the trace ring or the auditor, running through the
+// parallel runner instead of serially, and relabelling domain IDs must all
+// leave the scheduling counters bit-identical.
+var relations = []relation{
+	{"serial-vs-batch", func(s *experiment.Setup) {}},
+	{"observer-off-vs-on", func(s *experiment.Setup) { s.Obs = &obs.Config{} }},
+	{"trace-off-vs-on", func(s *experiment.Setup) { s.HVConfig.TraceCapacity = 1 << 14 }},
+	{"audit-off-vs-on", func(s *experiment.Setup) { s.Audit = true }},
+	{"domain-relabel", func(s *experiment.Setup) {
+		perm := make([]int, len(s.VMs))
+		for i := range perm {
+			perm[i] = len(perm) - 1 - i
+		}
+		s.DomRelabel = perm
+	}},
+}
+
+// Check runs sc serially as the baseline, then every metamorphic variant as
+// one parallel batch (which makes the serial-vs-RunAll relation itself part
+// of the experiment), and returns an error naming the first violated
+// relation with a counter-level diff. Conservation runs inside every one of
+// the runs via the PostCheck hook.
+func (c *Checker) Check(sc Scenario) error {
+	base := sc.ToSetup()
+	base.PostCheck = Conservation
+	baseRes, err := experiment.Run(base)
+	if err != nil {
+		return fmt.Errorf("base run: %w", err)
+	}
+	if c.mutate != nil {
+		c.mutate(baseRes)
+	}
+
+	variants := make([]experiment.Setup, len(relations))
+	for i, rel := range relations {
+		s := sc.ToSetup()
+		s.PostCheck = Conservation
+		rel.perturb(&s)
+		variants[i] = s
+	}
+	results, err := experiment.RunAll(variants)
+	if err != nil {
+		return fmt.Errorf("variant run: %w", err)
+	}
+	for i, r := range results {
+		if derr := diffResults(baseRes, r); derr != nil {
+			return fmt.Errorf("relation %q violated: %w", relations[i].name, derr)
+		}
+	}
+	return nil
+}
+
+// diffResults compares the deterministic portion of two Results — every
+// scheduling counter, per-VM measurement and derived statistic, excluding
+// the observability read-outs that only exist when the observer is on.
+func diffResults(a, b *experiment.Result) error {
+	if err := diffCounters("hv", a.HV, b.HV); err != nil {
+		return err
+	}
+	if err := diffCounters("core", a.Core, b.Core); err != nil {
+		return err
+	}
+	if err := diffCounters("symbols", a.SymbolHits, b.SymbolHits); err != nil {
+		return err
+	}
+	if a.MicroAvg != b.MicroAvg {
+		return fmt.Errorf("MicroAvg %v != %v", a.MicroAvg, b.MicroAvg)
+	}
+	if a.Duration != b.Duration {
+		return fmt.Errorf("Duration %v != %v", a.Duration, b.Duration)
+	}
+	if !reflect.DeepEqual(a.FaultErrs, b.FaultErrs) {
+		return fmt.Errorf("FaultErrs %v != %v", a.FaultErrs, b.FaultErrs)
+	}
+	if len(a.VMs) != len(b.VMs) {
+		return fmt.Errorf("VM count %d != %d", len(a.VMs), len(b.VMs))
+	}
+	for i := range a.VMs {
+		av, bv := &a.VMs[i], &b.VMs[i]
+		switch {
+		case av.Units != bv.Units:
+			return fmt.Errorf("VM %s Units %d != %d", av.Name, av.Units, bv.Units)
+		case av.Yields != bv.Yields:
+			return fmt.Errorf("VM %s Yields %+v != %+v", av.Name, av.Yields, bv.Yields)
+		case av.RanTotal != bv.RanTotal:
+			return fmt.Errorf("VM %s RanTotal %v != %v", av.Name, av.RanTotal, bv.RanTotal)
+		case !reflect.DeepEqual(av.VCPURan, bv.VCPURan):
+			return fmt.Errorf("VM %s VCPURan %v != %v", av.Name, av.VCPURan, bv.VCPURan)
+		case !reflect.DeepEqual(av.TLB, bv.TLB):
+			return fmt.Errorf("VM %s TLB histograms differ", av.Name)
+		case !reflect.DeepEqual(av.LockStat, bv.LockStat):
+			return fmt.Errorf("VM %s lock histograms differ", av.Name)
+		}
+	}
+	return nil
+}
+
+// diffCounters compares two counter maps over the union of their keys
+// (absent == 0), reporting the first few mismatches by name.
+func diffCounters(label string, a, b map[string]uint64) error {
+	keys := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		keys[k] = struct{}{}
+	}
+	for k := range b {
+		keys[k] = struct{}{}
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var diffs []string
+	for _, k := range names {
+		if a[k] != b[k] {
+			diffs = append(diffs, fmt.Sprintf("%s=%d vs %d", k, a[k], b[k]))
+			if len(diffs) == 4 {
+				break
+			}
+		}
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("%s counters differ: %v", label, diffs)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package check
+
+import (
+	"fmt"
+	"io"
+)
+
+// Options configures a conformance suite run.
+type Options struct {
+	// Seed is the base seed; scenario i is Generate(Seed+i).
+	Seed uint64
+	// Count is the number of scenarios to generate (default 200).
+	Count int
+	// FixtureDir, when non-empty, receives a replayable JSON fixture for
+	// every failure (shrunk to a minimal repro first).
+	FixtureDir string
+	// ShrinkBudget bounds the scenario evaluations spent minimizing one
+	// failure (default 100; each evaluation re-runs the full relation set).
+	ShrinkBudget int
+	// MaxFailures stops the suite after this many failures (default 1 —
+	// one minimized repro is worth more than a catalogue of duplicates).
+	MaxFailures int
+	// Progress, when non-nil, receives a one-line note every 50 scenarios.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Count <= 0 {
+		o.Count = 200
+	}
+	if o.ShrinkBudget <= 0 {
+		o.ShrinkBudget = 100
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 1
+	}
+	return o
+}
+
+// Report is the outcome of a suite run.
+type Report struct {
+	Checked  int
+	Failures []Fixture
+	// FixturePaths lists where each failure was written (parallel to
+	// Failures; empty strings when no FixtureDir was configured).
+	FixturePaths []string
+}
+
+// RunSuite generates Count scenarios and checks every metamorphic relation
+// and conservation law on each. Failing scenarios are shrunk and, when
+// FixtureDir is set, dumped as replayable fixtures.
+func RunSuite(opt Options) (*Report, error) {
+	var c Checker
+	return c.RunSuite(opt)
+}
+
+// RunSuite is the method form, letting tests inject a result mutation.
+func (c *Checker) RunSuite(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	rep := &Report{}
+	for i := 0; i < opt.Count; i++ {
+		seed := opt.Seed + uint64(i)
+		sc := Generate(seed)
+		err := c.Check(sc)
+		rep.Checked++
+		if opt.Progress != nil && rep.Checked%50 == 0 {
+			fmt.Fprintf(opt.Progress, "check: %d/%d scenarios, %d failures\n", rep.Checked, opt.Count, len(rep.Failures))
+		}
+		if err == nil {
+			continue
+		}
+		shrunk := Shrink(sc, func(s Scenario) bool { return c.Check(s) != nil }, opt.ShrinkBudget)
+		f := Fixture{Seed: seed, Err: err.Error(), Original: sc, Shrunk: shrunk}
+		path := ""
+		if opt.FixtureDir != "" {
+			p, werr := WriteFixture(opt.FixtureDir, &f)
+			if werr != nil {
+				return rep, werr
+			}
+			path = p
+		}
+		rep.Failures = append(rep.Failures, f)
+		rep.FixturePaths = append(rep.FixturePaths, path)
+		if len(rep.Failures) >= opt.MaxFailures {
+			break
+		}
+	}
+	return rep, nil
+}

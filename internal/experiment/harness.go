@@ -38,6 +38,13 @@ type VMSpec struct {
 	// Disk attaches a virtual block device (required by storage-bound
 	// workloads such as "fileserver").
 	Disk bool
+	// Weight overrides the domain's credit1 proportional-share weight
+	// (0: hv.DefaultWeight).
+	Weight int
+	// Pins pins vCPU j of this VM to pCPU Pins[j]. Negative entries leave
+	// that vCPU unpinned; a slice shorter than the vCPU count leaves the
+	// remainder unpinned.
+	Pins []int
 }
 
 // Setup is a complete scenario.
@@ -68,6 +75,29 @@ type Setup struct {
 	// TraceExport, when non-nil, receives the run's trace ring as Chrome
 	// trace-event JSON after the clock stops. Implies a large trace ring.
 	TraceExport io.Writer
+	// DomRelabel, when non-nil, permutes domain IDs after every domain is
+	// created (hv.RelabelDomains): the VM in slot i gets domain ID
+	// DomRelabel[i]. Domain IDs are pure labels, so a relabelled run must
+	// produce identical results slot for slot — the metamorphic relation
+	// internal/check exercises.
+	DomRelabel []int
+	// PostCheck, when non-nil, runs after the clock stops and the Result is
+	// collected, with the live simulation world still intact. A returned
+	// error fails the Run. The conformance harness hangs its conservation
+	// checks here.
+	PostCheck func(*PostRun) error
+}
+
+// PostRun is the post-run view handed to Setup.PostCheck and the
+// process-wide check hook (SetCheckHook): the settled Setup and Result plus
+// the live hypervisor, the observer (nil when the run had none) and the
+// final virtual time.
+type PostRun struct {
+	Setup  *Setup
+	Result *Result
+	HV     *hv.Hypervisor
+	Obs    *obs.Observer
+	Now    simtime.Time
 }
 
 // watchdogLimit is the livelock threshold: this many consecutive events at
@@ -155,6 +185,14 @@ func Run(s Setup) (res *Result, err error) {
 		if vm.VCPUs < 0 {
 			return nil, fmt.Errorf("experiment: VM %s: VCPUs %d negative", vm.Name, vm.VCPUs)
 		}
+		if vm.Weight < 0 {
+			return nil, fmt.Errorf("experiment: VM %s: Weight %d negative", vm.Name, vm.Weight)
+		}
+		for j, pin := range vm.Pins {
+			if pin >= s.PCPUs {
+				return nil, fmt.Errorf("experiment: VM %s: vCPU %d pinned to pCPU %d of %d", vm.Name, j, pin, s.PCPUs)
+			}
+		}
 	}
 	if s.Obs == nil {
 		s.Obs = defaultObs.Load()
@@ -165,6 +203,9 @@ func Run(s Setup) (res *Result, err error) {
 		cfg = *s.HVConfig
 	}
 	cfg.PCPUs = s.PCPUs
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
 
 	var plan *fault.Plan
 	faultsOn := s.Faults != nil && s.Faults.Enabled()
@@ -219,6 +260,7 @@ func Run(s Setup) (res *Result, err error) {
 
 	kernels := make([]*guest.Kernel, len(s.VMs))
 	apps := make([]*workload.App, len(s.VMs))
+	disks := make([]*vdisk.Disk, len(s.VMs))
 	for i, vm := range s.VMs {
 		n := vm.VCPUs
 		if n == 0 {
@@ -226,12 +268,8 @@ func Run(s Setup) (res *Result, err error) {
 		}
 		kernels[i] = guest.NewKernel(h, vm.Name, n, ksym.Generate(1000+uint64(i)), guest.DefaultParams())
 		if vm.Disk || workload.NeedsDisk(vm.App) {
-			disk := vdisk.New(clock, 5000+vm.Seed)
-			if observer != nil {
-				disk.Obs = observer
-				disk.ObsDom = int16(kernels[i].Dom.ID)
-			}
-			kernels[i].AttachDisk(disk)
+			disks[i] = vdisk.New(clock, 5000+vm.Seed)
+			kernels[i].AttachDisk(disks[i])
 		}
 		app, err := workload.New(vm.App, kernels[i], vm.Seed)
 		if err != nil {
@@ -240,6 +278,32 @@ func Run(s Setup) (res *Result, err error) {
 		apps[i] = app
 		if plan != nil {
 			plan.AttachGuest(kernels[i])
+		}
+	}
+	if s.DomRelabel != nil {
+		if err := h.RelabelDomains(s.DomRelabel); err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+	}
+	// Domain IDs are final from here on; anything keyed on them (disk span
+	// attribution, weights, pins, the detector's symtabs via core.Attach)
+	// comes after the relabel point.
+	for i, vm := range s.VMs {
+		d := kernels[i].Dom
+		if disks[i] != nil && observer != nil {
+			disks[i].Obs = observer
+			disks[i].ObsDom = int16(d.ID)
+		}
+		if vm.Weight > 0 {
+			d.Weight = vm.Weight
+		}
+		for j, pin := range vm.Pins {
+			if j >= len(d.VCPUs) {
+				break
+			}
+			if pin >= 0 {
+				d.VCPUs[j].Pin(pin)
+			}
 		}
 	}
 	ctrl, err := core.Attach(h, s.Core)
@@ -291,6 +355,17 @@ func Run(s Setup) (res *Result, err error) {
 		}
 		if err := obs.WriteChromeTrace(s.TraceExport, h.Trace.Records(), obs.ExportMeta{DomainNames: names}); err != nil {
 			return nil, fmt.Errorf("experiment: trace export: %v", err)
+		}
+	}
+	pr := &PostRun{Setup: &s, Result: res, HV: h, Obs: observer, Now: clock.Now()}
+	if s.PostCheck != nil {
+		if cerr := s.PostCheck(pr); cerr != nil {
+			return nil, fmt.Errorf("experiment: post-run check: %w", cerr)
+		}
+	}
+	if fn := checkHook.Load(); fn != nil {
+		if cerr := (*fn)(pr); cerr != nil {
+			return nil, fmt.Errorf("experiment: post-run check: %w", cerr)
 		}
 	}
 	if fn := runHook.Load(); fn != nil {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -144,15 +145,31 @@ func TestAuditDoesNotPerturbResults(t *testing.T) {
 // surfaces as an error, not a crashed process.
 func TestRunRecoversPanics(t *testing.T) {
 	s := corunSetup("swaptions", core.DefaultConfig(), robustDur)
-	cfg := hv.DefaultConfig()
-	cfg.CreditDebitPerTick = 0 // divide-by-zero in credit burning
-	s.HVConfig = &cfg
+	s.PostCheck = func(*PostRun) error { panic("boom inside the run") }
 	res, err := Run(s)
 	if err == nil {
-		t.Fatalf("poisoned hypervisor config did not error (res=%v)", res != nil)
+		t.Fatalf("panicking scenario did not error (res=%v)", res != nil)
 	}
 	if !strings.Contains(err.Error(), "panic") {
 		t.Fatalf("expected a recovered panic, got: %v", err)
+	}
+}
+
+// TestRunRejectsDegenerateHVConfig: a config whose credit-burn quantum
+// truncates to zero is refused by validation before the world is built
+// (it used to divide by zero mid-run).
+func TestRunRejectsDegenerateHVConfig(t *testing.T) {
+	s := corunSetup("swaptions", core.DefaultConfig(), robustDur)
+	cfg := hv.DefaultConfig()
+	cfg.CreditDebitPerTick = 0
+	s.HVConfig = &cfg
+	_, err := Run(s)
+	if err == nil {
+		t.Fatal("degenerate hv config accepted")
+	}
+	var cerr *hv.ConfigError
+	if !errors.As(err, &cerr) || cerr.Field != "CreditDebitPerTick" {
+		t.Fatalf("expected a CreditDebitPerTick ConfigError, got: %v", err)
 	}
 }
 

@@ -62,6 +62,22 @@ func SetRunHook(fn func(Setup, *Result)) {
 	runHook.Store(&fn)
 }
 
+// checkHook, when set, runs as a post-run check after every Run, in
+// addition to any per-Setup PostCheck. A returned error fails the Run.
+// paperbench -check installs the conservation checker here so every
+// scenario of every grid is audited without touching the generators.
+var checkHook atomic.Pointer[func(*PostRun) error]
+
+// SetCheckHook installs (or, with nil, removes) the process-wide post-run
+// check consulted by Run after every scenario.
+func SetCheckHook(fn func(*PostRun) error) {
+	if fn == nil {
+		checkHook.Store(nil)
+		return
+	}
+	checkHook.Store(&fn)
+}
+
 // parallelDo invokes f(0), ..., f(n-1) on a bounded worker pool and waits
 // for all of them. With one effective worker it degenerates to an in-order
 // serial loop with fail-fast. Otherwise indices are handed out through an

@@ -582,15 +582,23 @@ func (v *VCPU) enterCS(t *Thread) {
 func (v *VCPU) opDone() {
 	t := v.cur
 	now := v.now()
+	if t.op.Kind == OpTLBFlush && t.opStage == 1 {
+		v.initiateShootdown(t)
+		return
+	}
+	// Commit completion before applying effects: an effect that wakes a
+	// sibling (lock release, explicit wake, packet consume) can boost-tickle
+	// this very pCPU, preempting and synchronously re-dispatching this vCPU
+	// mid-effect. The re-entered resume must find the op already finished —
+	// with ph still phaseOp it would re-arm a zero-length event and replay
+	// the effect (double release, double transmit).
+	t.ph = phaseIdle
+	t.OpsDone++
 	switch t.op.Kind {
 	case OpLock:
-		t.lock.release(t, now)
+		lk := t.lock
 		t.lock = nil
-	case OpTLBFlush:
-		if t.opStage == 1 {
-			v.initiateShootdown(t)
-			return
-		}
+		lk.release(t, now)
 	case OpWake:
 		if t.op.Target != nil {
 			v.k.wakeThreadFrom(v, t.op.Target)
@@ -614,8 +622,6 @@ func (v *VCPU) opDone() {
 			sock.OnAppConsume(p, now)
 		}
 	}
-	t.ph = phaseIdle
-	t.OpsDone++
 	v.resume()
 }
 
@@ -687,12 +693,17 @@ func (v *VCPU) initiateShootdown(t *Thread) {
 // releasing the address-space lock if the flush ran under one.
 func (v *VCPU) finishShootdown(t *Thread) {
 	t.shoot = nil
-	if t.lock != nil {
-		t.lock.release(t, v.now())
-		t.lock = nil
-	}
+	// Commit completion before the release: a sleeping-lock release wakes
+	// the grantee through a reschedule IPI, which can boost-preempt this
+	// very vCPU and synchronously re-dispatch it. With ph still phaseAcksDone
+	// the re-entered advance would run finishShootdown again and
+	// double-release the lock.
 	t.ph = phaseIdle
 	t.OpsDone++
+	if lk := t.lock; lk != nil {
+		t.lock = nil
+		lk.release(t, v.now())
+	}
 	v.resume()
 }
 

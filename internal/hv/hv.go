@@ -81,6 +81,66 @@ func DefaultConfig() Config {
 	}
 }
 
+// ConfigError reports a Config field whose value cannot produce a sound
+// simulation (division by zero in credit burning, empty machines, negative
+// costs). New panics with its message; callers that build configs from
+// external input should call Config.Validate first.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+// Error formats the offending field and why it was rejected.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("hv: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration for degenerate values. In particular it
+// rejects Tick < CreditDebitPerTick nanoseconds, where the per-credit
+// runtime quantum (Tick/CreditDebitPerTick) truncates to zero and credit
+// burning would divide by zero.
+func (c Config) Validate() error {
+	switch {
+	case c.PCPUs <= 0:
+		return &ConfigError{"PCPUs", fmt.Sprintf("need at least one pCPU, got %d", c.PCPUs)}
+	case c.NormalSlice <= 0:
+		return &ConfigError{"NormalSlice", fmt.Sprintf("slice must be positive, got %v", c.NormalSlice)}
+	case c.MicroSlice <= 0:
+		return &ConfigError{"MicroSlice", fmt.Sprintf("slice must be positive, got %v", c.MicroSlice)}
+	case c.Tick <= 0:
+		return &ConfigError{"Tick", fmt.Sprintf("tick must be positive, got %v", c.Tick)}
+	case c.TicksPerAcct < 1:
+		return &ConfigError{"TicksPerAcct", fmt.Sprintf("need at least one tick per accounting period, got %d", c.TicksPerAcct)}
+	case c.CreditDebitPerTick < 1:
+		return &ConfigError{"CreditDebitPerTick", fmt.Sprintf("need at least one credit per tick, got %d", c.CreditDebitPerTick)}
+	case c.Tick < simtime.Duration(c.CreditDebitPerTick):
+		return &ConfigError{"CreditDebitPerTick", fmt.Sprintf(
+			"%d credits per %v tick leaves no whole nanosecond per credit (burn quantum truncates to zero)",
+			c.CreditDebitPerTick, c.Tick)}
+	case c.CreditCap < 1:
+		return &ConfigError{"CreditCap", fmt.Sprintf("cap must be positive, got %d", c.CreditCap)}
+	case c.CreditFloor > c.CreditCap:
+		return &ConfigError{"CreditFloor", fmt.Sprintf("floor %d above cap %d", c.CreditFloor, c.CreditCap)}
+	case c.CtxSwitchCost < 0:
+		return &ConfigError{"CtxSwitchCost", fmt.Sprintf("cost must be non-negative, got %v", c.CtxSwitchCost)}
+	case c.ColdCacheCost < 0:
+		return &ConfigError{"ColdCacheCost", fmt.Sprintf("cost must be non-negative, got %v", c.ColdCacheCost)}
+	case c.IPILatency < 0:
+		return &ConfigError{"IPILatency", fmt.Sprintf("latency must be non-negative, got %v", c.IPILatency)}
+	case c.PIRQCost < 0:
+		return &ConfigError{"PIRQCost", fmt.Sprintf("cost must be non-negative, got %v", c.PIRQCost)}
+	case c.IPIRetryDelay < 0:
+		return &ConfigError{"IPIRetryDelay", fmt.Sprintf("delay must be non-negative, got %v", c.IPIRetryDelay)}
+	case c.IPIRetryLimit < 0:
+		return &ConfigError{"IPIRetryLimit", fmt.Sprintf("limit must be non-negative, got %d", c.IPIRetryLimit)}
+	case c.MicroRunqLimit < 0:
+		return &ConfigError{"MicroRunqLimit", fmt.Sprintf("limit must be non-negative, got %d", c.MicroRunqLimit)}
+	case c.TraceCapacity < 0:
+		return &ConfigError{"TraceCapacity", fmt.Sprintf("capacity must be non-negative, got %d", c.TraceCapacity)}
+	}
+	return nil
+}
+
 // Priority is a credit1 scheduling priority; lower values run first.
 type Priority int8
 
@@ -447,8 +507,8 @@ var yieldName = [4]string{"yield.ple", "yield.ipi", "yield.halt", "yield.other"}
 // micro pool starts empty and is grown via GrowMicro (adaptive mode) or
 // SetMicroCount (static mode).
 func New(clock *simtime.Clock, cfg Config) *Hypervisor {
-	if cfg.PCPUs <= 0 {
-		panic("hv: need at least one pCPU")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	h := &Hypervisor{
 		Clock:    clock,
@@ -507,6 +567,51 @@ func (h *Hypervisor) VCPUs() []*VCPU { return h.vcpus }
 
 // PCPU returns pCPU i.
 func (h *Hypervisor) PCPU(i int) *PCPU { return h.pcpus[i] }
+
+// AllPCPUs returns every pCPU in ID order, online or not (conservation
+// checks sum Busy across the whole machine).
+func (h *Hypervisor) AllPCPUs() []*PCPU { return h.pcpus }
+
+// RelabelDomains reassigns domain IDs: the domain created i-th takes ID
+// perm[i], and the table returned by Domains is re-sorted so that
+// Domains()[id].ID == id keeps holding. Call after all domains and vCPUs
+// exist and before Start.
+//
+// Domain IDs are pure labels — nothing in the scheduler keys behaviour on
+// them — so a relabelled run must produce bit-identical scheduling
+// counters. The conformance harness (internal/check) verifies exactly that;
+// a component that accidentally indexes per-domain state by creation slot
+// instead of ID shows up as a relation violation.
+func (h *Hypervisor) RelabelDomains(perm []int) error {
+	if h.started {
+		return fmt.Errorf("hv: RelabelDomains after Start")
+	}
+	if len(perm) != len(h.domains) {
+		return fmt.Errorf("hv: RelabelDomains: %d permutation entries for %d domains", len(perm), len(h.domains))
+	}
+	seen := make([]bool, len(perm))
+	for _, id := range perm {
+		if id < 0 || id >= len(perm) || seen[id] {
+			return fmt.Errorf("hv: RelabelDomains: %v is not a permutation of 0..%d", perm, len(perm)-1)
+		}
+		seen[id] = true
+	}
+	relabeled := make([]*Domain, len(h.domains))
+	for i, d := range h.domains {
+		d.ID = perm[i]
+		relabeled[d.ID] = d
+		for _, v := range d.VCPUs {
+			v.DomID = d.ID
+		}
+	}
+	h.domains = relabeled
+	if h.Obs != nil {
+		for _, v := range h.vcpus {
+			h.Obs.EnsureVCPU(v.ID, int16(v.DomID), int16(v.Idx))
+		}
+	}
+	return nil
+}
 
 // NewDomain creates a domain.
 func (h *Hypervisor) NewDomain(name string, symbolMap []byte) *Domain {

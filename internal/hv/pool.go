@@ -62,17 +62,26 @@ func (h *Hypervisor) MigrateToMicro(v *VCPU) bool {
 	return true
 }
 
-// migrateHome returns a runnable vCPU from the micro pool to its home pool.
-func (h *Hypervisor) migrateHome(v *VCPU) {
-	if v.state != StateRunnable || v.queuedOn != nil {
-		panic(fmt.Sprintf("hv: migrateHome of %v", v))
-	}
+// leaveMicro flips a micro resident's pool membership back to its home
+// pool. The migrate-home counter, trace record and observer membership
+// update live only here, so the three ledgers can never drift apart.
+func (h *Hypervisor) leaveMicro(v *VCPU) {
 	v.pool = v.homePool
 	h.hot.migrHome.Inc()
 	h.emit(trace.KindMigrate, v, 1, 0)
 	if h.Obs != nil {
 		h.Obs.SetMicro(v.ID, false, h.Clock.Now())
 	}
+}
+
+// sendHome returns a runnable, unqueued micro resident to its home pool and
+// queues it there — the single exit path for every "micro resident migrates
+// home" site (slice expiry, pool shrink, pCPU hot-unplug).
+func (h *Hypervisor) sendHome(v *VCPU) {
+	if v.state != StateRunnable || v.queuedOn != nil {
+		panic(fmt.Sprintf("hv: sendHome of %v", v))
+	}
+	h.leaveMicro(v)
 	p := h.homePCPU(v)
 	h.enqueue(p, v)
 	h.tickle(p)
@@ -173,22 +182,12 @@ func (h *Hypervisor) ShrinkMicro() bool {
 		cur := p.cur
 		h.descheduleCurrent(p)
 		h.setRunnable(cur)
-		cur.pool = cur.homePool
-		h.noteMicro(cur, false)
-		h.count("migrate.home")
-		q := h.homePCPU(cur)
-		h.enqueue(q, cur)
-		h.tickle(q)
+		h.sendHome(cur)
 	}
 	for len(p.runq) > 0 {
 		v := p.runq[0]
 		h.dequeue(v)
-		v.pool = v.homePool
-		h.noteMicro(v, false)
-		h.count("migrate.home")
-		q := h.homePCPU(v)
-		h.enqueue(q, v)
-		h.tickle(q)
+		h.sendHome(v)
 	}
 	h.micro.pcpus = h.micro.pcpus[:n-1]
 	p.pool = h.normal
@@ -218,14 +217,6 @@ func (h *Hypervisor) SetMicroCount(n int) int {
 		}
 	}
 	return len(h.micro.pcpus)
-}
-
-// noteMicro records a pool-membership change with the observer (the inline
-// return-home paths that do not go through migrateHome/Block).
-func (h *Hypervisor) noteMicro(v *VCPU, micro bool) {
-	if h.Obs != nil {
-		h.Obs.SetMicro(v.ID, micro, h.Clock.Now())
-	}
 }
 
 func (h *Hypervisor) hasPinnedLoad(p *PCPU) bool {
@@ -300,12 +291,7 @@ func (h *Hypervisor) OfflinePCPU(id int) error {
 		h.descheduleCurrent(p)
 		h.setRunnable(cur)
 		if fromMicro {
-			cur.pool = cur.homePool
-			h.noteMicro(cur, false)
-			h.count("migrate.home")
-			q := h.homePCPU(cur)
-			h.enqueue(q, cur)
-			h.tickle(q)
+			h.sendHome(cur)
 		} else {
 			h.requeueElsewhere(cur, p)
 		}
@@ -314,12 +300,7 @@ func (h *Hypervisor) OfflinePCPU(id int) error {
 		v := p.runq[0]
 		h.dequeue(v)
 		if fromMicro {
-			v.pool = v.homePool
-			h.noteMicro(v, false)
-			h.count("migrate.home")
-			q := h.homePCPU(v)
-			h.enqueue(q, v)
-			h.tickle(q)
+			h.sendHome(v)
 		} else {
 			h.requeueElsewhere(v, p)
 		}

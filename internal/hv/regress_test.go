@@ -1,0 +1,112 @@
+package hv
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/microslicedcore/microsliced/internal/simtime"
+)
+
+// TestCountYieldOutOfRangeReason pins the countYield ledger fix: a reason
+// outside the known table must be folded into YieldOther on the per-vCPU
+// counter too, not just on the domain and hypervisor sets. The pre-fix code
+// dropped the per-vCPU increment, so the three yield ledgers drifted apart
+// — exactly the drift the conformance harness's conservation check asserts
+// against.
+func TestCountYieldOutOfRangeReason(t *testing.T) {
+	clock, h := setup(1)
+	d := h.NewDomain("vm", nil)
+	g := newComputeGuest(h, d, 50*simtime.Millisecond)
+	h.Start()
+	h.Wake(g.v, false)
+	clock.RunUntil(simtime.Millisecond)
+	if g.v.State() != StateRunning {
+		t.Fatalf("vCPU state %v, want Running", g.v.State())
+	}
+
+	h.Yield(g.v, YieldReason(200)) // a reason the counter table does not know
+
+	if got := g.v.YieldsBy(YieldOther); got != 1 {
+		t.Fatalf("out-of-range yield not folded into YieldOther: got %d, want 1", got)
+	}
+	var perVCPU uint64
+	for r := range yieldName {
+		perVCPU += g.v.YieldsBy(YieldReason(r))
+	}
+	if total := d.Counters.Value("yield.total"); perVCPU != total {
+		t.Fatalf("per-vCPU yields %d != domain yield.total %d (ledger drift)", perVCPU, total)
+	}
+	if total := h.Counters.Value("yield.total"); perVCPU != total {
+		t.Fatalf("per-vCPU yields %d != hv yield.total %d (ledger drift)", perVCPU, total)
+	}
+	checkInvariants(t, h)
+}
+
+// TestConfigValidate covers the Config sanity check, in particular the
+// degenerate tick/credit ratio that made burnCredits divide by zero: with
+// Tick shorter than CreditDebitPerTick nanoseconds, the per-credit burn
+// quantum truncates to 0 ns.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string // expected ConfigError field; "" means valid
+	}{
+		{"default", func(*Config) {}, ""},
+		{"no pcpus", func(c *Config) { c.PCPUs = 0 }, "PCPUs"},
+		{"zero normal slice", func(c *Config) { c.NormalSlice = 0 }, "NormalSlice"},
+		{"zero micro slice", func(c *Config) { c.MicroSlice = 0 }, "MicroSlice"},
+		{"zero tick", func(c *Config) { c.Tick = 0 }, "Tick"},
+		{"zero ticks per acct", func(c *Config) { c.TicksPerAcct = 0 }, "TicksPerAcct"},
+		{"zero credit debit", func(c *Config) { c.CreditDebitPerTick = 0 }, "CreditDebitPerTick"},
+		{"debit exceeds tick nanoseconds", func(c *Config) {
+			c.Tick = simtime.Microsecond
+			c.CreditDebitPerTick = 2000
+		}, "CreditDebitPerTick"},
+		{"zero credit cap", func(c *Config) { c.CreditCap = 0 }, "CreditCap"},
+		{"floor above cap", func(c *Config) { c.CreditFloor = c.CreditCap + 1 }, "CreditFloor"},
+		{"negative ctx switch cost", func(c *Config) { c.CtxSwitchCost = -1 }, "CtxSwitchCost"},
+		{"negative micro runq limit", func(c *Config) { c.MicroRunqLimit = -1 }, "MicroRunqLimit"},
+		{"negative trace capacity", func(c *Config) { c.TraceCapacity = -1 }, "TraceCapacity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(2)
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			var cerr *ConfigError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("got %v, want *ConfigError", err)
+			}
+			if cerr.Field != tc.field {
+				t.Fatalf("rejected field %q, want %q (%v)", cerr.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+// TestNewPanicsOnInvalidConfig: the constructor refuses a config that would
+// later crash the credit-burn path, and the panic names the bad field.
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted a config whose credit burn quantum is zero")
+		}
+		if !strings.Contains(fmt.Sprint(r), "CreditDebitPerTick") {
+			t.Fatalf("panic does not name the bad field: %v", r)
+		}
+	}()
+	cfg := testConfig(1)
+	cfg.Tick = simtime.Microsecond
+	cfg.CreditDebitPerTick = 2000
+	New(simtime.NewClock(), cfg)
+}

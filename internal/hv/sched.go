@@ -299,7 +299,7 @@ func (v *VCPU) basePrio() Priority {
 func (h *Hypervisor) requeuePreempted(p *PCPU, v *VCPU) {
 	switch {
 	case v.pool.ReturnHome && v.pool != v.homePool:
-		h.migrateHome(v)
+		h.sendHome(v)
 	case !v.canRunOn(p):
 		q := h.homePCPU(v)
 		h.enqueue(q, v)
@@ -362,12 +362,7 @@ func (h *Hypervisor) Block(v *VCPU) {
 	}
 	if v.pool.ReturnHome && v.pool != v.homePool {
 		// Leaving the micro pool: the vCPU simply belongs home again.
-		v.pool = v.homePool
-		h.hot.migrHome.Inc()
-		h.emit(trace.KindMigrate, v, 1, 0)
-		if h.Obs != nil {
-			h.Obs.SetMicro(v.ID, false, h.Clock.Now())
-		}
+		h.leaveMicro(v)
 	}
 	h.schedule(p)
 }
@@ -426,11 +421,10 @@ func (h *Hypervisor) tickle(p *PCPU) {
 
 func (h *Hypervisor) countYield(v *VCPU, reason YieldReason) {
 	r := int(reason)
-	if r < len(v.yieldsBy) {
-		v.yieldsBy[r]++
-	} else {
+	if r >= len(v.yieldsBy) {
 		r = int(YieldOther) // matches YieldReason.String's fallback
 	}
+	v.yieldsBy[r]++
 	h.hot.yieldBy[r].Inc()
 	h.hot.yieldTotal.Inc()
 	v.Dom.hot.yieldBy[r].Inc()
@@ -519,11 +513,13 @@ func (h *Hypervisor) refreshQueue(p *PCPU) {
 }
 
 // account distributes credits: the pool of credits for one accounting
-// period is split evenly over all vCPUs (equal domain weights). Capacity is
-// the *normal* pool's: micro pCPUs serve sub-millisecond visits and are not
-// general capacity, exactly as in Xen's per-cpupool accounting — otherwise
-// a CPU hog on a shrunken normal pool never goes OVER and priority stops
-// protecting low-usage vCPUs.
+// period is split over all vCPUs in proportion to their domain's Weight
+// (credit1 proportional share; every share is at least one credit so a
+// zero-rounded vCPU cannot starve). Capacity is the *normal* pool's: micro
+// pCPUs serve sub-millisecond visits and are not general capacity, exactly
+// as in Xen's per-cpupool accounting — otherwise a CPU hog on a shrunken
+// normal pool never goes OVER and priority stops protecting low-usage
+// vCPUs.
 func (h *Hypervisor) account() {
 	if len(h.vcpus) == 0 {
 		return

@@ -75,6 +75,12 @@ type openSpan struct {
 type spanTable struct {
 	slots []openSpan
 	free  []int32
+
+	// Lifetime ledger: begun == closed + cancelled + open at all times (the
+	// span conservation law internal/check verifies after every run).
+	begun     uint64
+	closed    uint64
+	cancelled uint64
 }
 
 func (t *spanTable) open() int {
@@ -98,6 +104,7 @@ func (o *Observer) Begin(k SpanKind, dom, vcpu int16, arg uint64, now simtime.Ti
 	s.kind, s.live = k, true
 	s.dom, s.vcpu, s.arg = dom, vcpu, arg
 	s.start = now
+	t.begun++
 	return SpanRef(idx + 1)
 }
 
@@ -114,6 +121,7 @@ func (o *Observer) End(ref SpanRef, now simtime.Time) {
 	}
 	o.hists[s.kind].Observe(int64(now - s.start))
 	s.live = false
+	o.spans.closed++
 	o.spans.free = append(o.spans.free, idx)
 }
 
@@ -129,8 +137,19 @@ func (o *Observer) Cancel(ref SpanRef) {
 		return
 	}
 	s.live = false
+	o.spans.cancelled++
 	o.spans.free = append(o.spans.free, idx)
 }
+
+// SpanCounts reports the span lifetime ledger: how many spans were ever
+// begun, ended into a histogram, and cancelled. begun always equals
+// closed + cancelled + OpenSpanCount().
+func (o *Observer) SpanCounts() (begun, closed, cancelled uint64) {
+	return o.spans.begun, o.spans.closed, o.spans.cancelled
+}
+
+// OpenSpanCount returns the number of currently open spans.
+func (o *Observer) OpenSpanCount() int { return o.spans.open() }
 
 // OpenSpan describes one still-open span (flight-recorder snapshot).
 type OpenSpan struct {

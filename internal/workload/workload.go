@@ -229,9 +229,10 @@ func buildGmake(a *App, r *rng.Source) {
 			// preempted inside its own rq critical section stalls every
 			// remote waker (paper §3.1, kick_process/resched_curr).
 			rq := runq[i]
-			if r.Bool(0.15) {
-				// Wake the sibling worker: grab its runqueue lock.
-				rq = runq[i^1]
+			if sib := i ^ 1; r.Bool(0.15) && sib < len(runq) {
+				// Wake the sibling worker: grab its runqueue lock. The last
+				// worker of an odd-sized VM has no sibling and stays local.
+				rq = runq[sib]
 			}
 			ops = append(ops, guest.Op{Kind: guest.OpLock, Lock: rq, Dur: exp(r, 1500)})
 			if r.Bool(0.2) {
@@ -274,8 +275,8 @@ func buildExim(a *App, r *rng.Source) {
 		k.NewThread(i, fmt.Sprintf("exim-%d", i), newCycleProg(a, func() []guest.Op {
 			// One message: fork, create spool files, deliver, unlink.
 			rq := runq[i]
-			if r.Bool(0.15) {
-				rq = runq[i^1]
+			if sib := i ^ 1; r.Bool(0.15) && sib < len(runq) {
+				rq = runq[sib]
 			}
 			ops := []guest.Op{
 				{Kind: guest.OpCompute, Dur: exp(r, 10*us)},
