@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -26,6 +27,7 @@ func main() {
 		secs     = flag.Float64("seconds", 3, "simulated seconds per run")
 		par      = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS, 1 = serial)")
 		prof     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		faults   = flag.Bool("faults", false, "also run the fault-injection sweep (shorthand for adding faultsweep to -run)")
 		verbose  = flag.Bool("v", false, "attach the observability layer and print one telemetry line per scenario")
 		checked  = flag.Bool("check", false, "run the conformance conservation checks after every scenario (fails fast on a scheduler accounting violation)")
@@ -46,10 +48,20 @@ func main() {
 	if *verbose {
 		experiment.SetDefaultObs(&obs.Config{})
 		var mu sync.Mutex
+		var lastMem runtime.MemStats
+		runtime.ReadMemStats(&lastMem)
 		experiment.SetRunHook(func(s experiment.Setup, r *experiment.Result) {
 			mu.Lock()
 			defer mu.Unlock()
-			fmt.Fprintln(os.Stderr, telemetryLine(s, r))
+			// Process-wide allocation delta since the previous line. With
+			// -parallel > 1 scenarios overlap, so the per-scenario
+			// attribution is approximate; the totals are exact.
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			allocs := m.Mallocs - lastMem.Mallocs
+			mb := float64(m.TotalAlloc-lastMem.TotalAlloc) / (1 << 20)
+			lastMem = m
+			fmt.Fprintf(os.Stderr, "%s | %d allocs/op %.1f MB/op\n", telemetryLine(s, r), allocs, mb)
 		})
 	}
 	if *prof != "" {
@@ -64,6 +76,20 @@ func main() {
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so inuse numbers are meaningful
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 	dur := simtime.Duration(*secs * float64(simtime.Second))
 	want := map[string]bool{}

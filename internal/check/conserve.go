@@ -43,6 +43,9 @@ var yieldReasons = []struct {
 //     observer's per-pCPU busy mirror equals the hypervisor's
 //   - every opened span is closed, cancelled or still reported open
 //   - the invariant auditor (when armed) found nothing
+//   - the scheduler's derived occupancy index (pool bitmasks, slot
+//     numbering, cached head priorities, parked-tick bookkeeping) matches
+//     the ground-truth runqueues at end of run
 func Conservation(pr *experiment.PostRun) error {
 	var errs []string
 	fail := func(format string, args ...any) {
@@ -50,6 +53,10 @@ func Conservation(pr *experiment.PostRun) error {
 	}
 	h := pr.HV
 	cfg := h.Cfg
+
+	if err := h.VerifySchedIndex(); err != nil {
+		fail("scheduler index: %v", err)
+	}
 
 	var ran, busy simtime.Duration
 	for _, v := range h.VCPUs() {

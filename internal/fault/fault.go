@@ -13,6 +13,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/microslicedcore/microsliced/internal/guest"
 	"github.com/microslicedcore/microsliced/internal/hv"
@@ -193,23 +194,51 @@ func (p *Plan) Attach(h *hv.Hypervisor) {
 			return d + simtime.Duration(p.tick.UniformDur(-j, j))
 		})
 	}
-	for _, ev := range p.Hotplug {
-		ev := ev
-		h.Clock.AtLabeled(ev.Off, "hotplug-off", func() {
-			if err := h.OfflinePCPU(ev.PCPU); err != nil {
-				p.HotplugErrs = append(p.HotplugErrs, err)
-				return
+	if len(p.Hotplug) > 0 {
+		// One chained timer walks the whole time-sorted action list instead
+		// of pre-registering two closures per hotplug event: each fire
+		// applies its action and re-arms the same event (Clock.Reschedule)
+		// for the next one. The stable sort keeps the original creation
+		// order (off before on, schedule order) for same-instant actions.
+		actions := make([]hotplugAction, 0, 2*len(p.Hotplug))
+		for _, ev := range p.Hotplug {
+			actions = append(actions, hotplugAction{at: ev.Off, pcpu: ev.PCPU, online: false})
+			actions = append(actions, hotplugAction{at: ev.On, pcpu: ev.PCPU, online: true})
+		}
+		sort.SliceStable(actions, func(i, j int) bool { return actions[i].at < actions[j].at })
+		next := 0
+		h.Clock.AtLabeled(actions[0].at, "hotplug", func() {
+			a := actions[next]
+			next++
+			p.applyHotplug(h, a)
+			if next < len(actions) {
+				h.Clock.Reschedule(actions[next].at - h.Clock.Now())
 			}
-			p.noteFault(fmt.Sprintf("hotplug-off p%d", ev.PCPU))
-		})
-		h.Clock.AtLabeled(ev.On, "hotplug-on", func() {
-			if err := h.OnlinePCPU(ev.PCPU); err != nil {
-				p.HotplugErrs = append(p.HotplugErrs, err)
-				return
-			}
-			p.noteFault(fmt.Sprintf("hotplug-on p%d", ev.PCPU))
 		})
 	}
+}
+
+// hotplugAction is one entry of the flattened, time-sorted hotplug walk.
+type hotplugAction struct {
+	at     simtime.Time
+	pcpu   int
+	online bool
+}
+
+func (p *Plan) applyHotplug(h *hv.Hypervisor, a hotplugAction) {
+	var err error
+	verb := "hotplug-off"
+	if a.online {
+		verb = "hotplug-on"
+		err = h.OnlinePCPU(a.pcpu)
+	} else {
+		err = h.OfflinePCPU(a.pcpu)
+	}
+	if err != nil {
+		p.HotplugErrs = append(p.HotplugErrs, err)
+		return
+	}
+	p.noteFault(fmt.Sprintf("%s p%d", verb, a.pcpu))
 }
 
 // AttachGuest installs the guest-side lock-stall injector on one kernel.

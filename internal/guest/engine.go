@@ -77,9 +77,21 @@ type VCPU struct {
 	needResched bool
 
 	irq      *irqCtx
+	irqBuf   irqCtx // backing store reused for every v.irq handler context
 	irqQueue []pendingGuestIRQ
 	irqStart simtime.Time
 	savedRIP uint64
+
+	// Pre-bound progress callbacks, created once in NewKernel so the hot
+	// paths arm clock events without allocating a closure per fire. armEv
+	// stashes its target in evFn; evWrapFn is the one closure the clock
+	// ever sees for this vCPU.
+	evFn           func()
+	evWrapFn       func()
+	opDoneFn       func()
+	irqStageDoneFn func()
+	pleFireFn      func()
+	ackSpinFireFn  func()
 
 	Yields uint64 // guest-visible count of PLE + voluntary yields
 }
@@ -120,10 +132,8 @@ func (v *VCPU) armEv(d simtime.Duration, fn func()) {
 		panic(fmt.Sprintf("guest: vCPU %d armed while descheduled", v.idx))
 	}
 	v.phaseStart = v.now()
-	v.ev = v.k.Clock.After(d, func() {
-		v.ev = nil
-		fn()
-	})
+	v.evFn = fn
+	v.ev = v.k.Clock.After(d, v.evWrapFn)
 }
 
 // ---------------------------------------------------------------------------
@@ -207,8 +217,12 @@ func (v *VCPU) startNextIRQ() {
 		return
 	}
 	p := v.irqQueue[0]
-	v.irqQueue = v.irqQueue[1:]
-	v.irq = &irqCtx{vec: p.vec, data: p.data}
+	// Pop by copy-down so the queue's backing array keeps its capacity
+	// (re-slicing would strand the head and force appends to reallocate).
+	n := copy(v.irqQueue, v.irqQueue[1:])
+	v.irqQueue = v.irqQueue[:n]
+	v.irqBuf = irqCtx{vec: p.vec, data: p.data}
+	v.irq = &v.irqBuf
 	v.runIRQStage()
 }
 
@@ -246,12 +260,12 @@ func (v *VCPU) runIRQStage() {
 	default:
 		panic(fmt.Sprintf("guest: unknown vector %v", c.vec))
 	}
-	v.armEv(c.remaining, v.irqStageDone)
+	v.armEv(c.remaining, v.irqStageDoneFn)
 }
 
 // resumeIRQ re-arms an interrupted handler after rescheduling.
 func (v *VCPU) resumeIRQ() {
-	v.armEv(v.irq.remaining, v.irqStageDone)
+	v.armEv(v.irq.remaining, v.irqStageDoneFn)
 }
 
 // irqStageDone applies the handler's effects and advances.
@@ -328,7 +342,10 @@ func (v *VCPU) wakeLocal(t *Thread, preempt bool) {
 	}
 	t.state = ThreadReady
 	if preempt {
-		v.runq = append([]*Thread{t}, v.runq...)
+		// Insert at the head in place (no fresh slice): shift right by one.
+		v.runq = append(v.runq, nil)
+		copy(v.runq[1:], v.runq)
+		v.runq[0] = t
 		v.needResched = true
 	} else {
 		v.runq = append(v.runq, t)
@@ -367,7 +384,9 @@ func (v *VCPU) resume() {
 func (v *VCPU) pickNext() *Thread {
 	for len(v.runq) > 0 {
 		t := v.runq[0]
-		v.runq = v.runq[1:]
+		// Copy-down pop keeps the backing array's capacity for re-appends.
+		n := copy(v.runq, v.runq[1:])
+		v.runq = v.runq[:n]
 		if t.state != ThreadReady {
 			continue
 		}
@@ -396,19 +415,19 @@ func (v *VCPU) advance() {
 		v.nextOp()
 	case phaseOp:
 		v.setRIP(v.opRIP(t))
-		v.armEv(t.remaining, v.opDone)
+		v.armEv(t.remaining, v.opDoneFn)
 	case phaseSpin:
 		if t.lock != nil && t.lock.user {
 			v.setRIP(UserSpinRIP)
 		} else {
 			v.setRIP(v.k.addr.spinSlow)
 		}
-		v.armEv(v.k.Params.PLEWindow, v.pleFire)
+		v.armEv(v.k.Params.PLEWindow, v.pleFireFn)
 	case phaseGranted:
 		v.enterCS(t)
 	case phaseAcks:
 		v.setRIP(v.k.addr.callMany)
-		v.armEv(v.k.Params.AckSpinYield, v.ackSpinFire)
+		v.armEv(v.k.Params.AckSpinYield, v.ackSpinFireFn)
 	case phaseAcksDone:
 		v.finishShootdown(t)
 	case phaseRestart:
@@ -498,11 +517,7 @@ func (v *VCPU) startOp(t *Thread) {
 	case OpSleep:
 		t.state = ThreadSleeping
 		v.cur = nil
-		id := uint64(t.ID)
-		tv := t.vc.hvv
-		v.k.Clock.After(op.Dur, func() {
-			v.k.HV.DeliverLocal(tv, hv.VecTimer, id)
-		})
+		v.k.Clock.After(op.Dur, t.timerFn)
 		v.resume()
 	case OpRecv:
 		sock := op.Sock
@@ -526,12 +541,7 @@ func (v *VCPU) startOp(t *Thread) {
 		}
 		t.state = ThreadBlockedIO
 		v.cur = nil
-		id := uint64(t.ID)
-		tv := t.vc.hvv
-		v.k.disk.Submit(op.Bytes, op.Write, func() {
-			// Completion raises a per-queue MSI on the submitting vCPU.
-			v.k.HV.InjectPIRQTo(tv, hv.VecDisk, id)
-		})
+		v.k.disk.Submit(op.Bytes, op.Write, t.diskFn)
 		v.resume()
 	case OpExit:
 		t.state = ThreadDone
@@ -569,13 +579,13 @@ func (v *VCPU) enterCS(t *Thread) {
 		t.opStage = 1
 		t.remaining = v.k.Params.TLBInitCost
 		v.setRIP(v.k.addr.flushOthers)
-		v.armEv(t.remaining, v.opDone)
+		v.armEv(t.remaining, v.opDoneFn)
 		return
 	}
 	t.opStage = 1
 	t.remaining = t.lock.holdDuration(t.op.Dur)
 	v.setRIP(t.lock.body)
-	v.armEv(t.remaining, v.opDone)
+	v.armEv(t.remaining, v.opDoneFn)
 }
 
 // opDone applies the completed operation's effects.
@@ -666,8 +676,20 @@ func (t *Thread) granted(now simtime.Time) {
 // initiateShootdown sends the call-function IPI to all live sibling vCPUs
 // and transitions the initiator into the ack wait.
 func (v *VCPU) initiateShootdown(t *Thread) {
+	// Snapshot the live set (Linux's mm_cpumask read) into the kernel's
+	// reusable buffer before sending: an IPI's wake effects can retire a
+	// sibling's last thread mid-loop, and the shootdown targets the mask as
+	// of flush initiation. initiateShootdown only runs from op-completion
+	// clock events, so the snapshot can never be clobbered re-entrantly.
+	live := v.k.shootBuf[:0]
+	for _, w := range v.k.VCPUs {
+		if w.live > 0 {
+			live = append(live, w)
+		}
+	}
+	v.k.shootBuf = live
 	targets := 0
-	for _, w := range v.k.LiveVCPUs() {
+	for _, w := range live {
 		if w == v {
 			continue
 		}

@@ -136,7 +136,8 @@ type Kernel struct {
 	// OnThreadExit, when set, fires when any thread finishes its program.
 	OnThreadExit func(t *Thread)
 
-	addr addrs // resolved symbol addresses for hot-path RIP updates
+	addr     addrs   // resolved symbol addresses for hot-path RIP updates
+	shootBuf []*VCPU // reusable live-set snapshot for TLB shootdowns
 }
 
 // addrs caches the instruction pointers for guest activities.
@@ -189,6 +190,18 @@ func NewKernel(h *hv.Hypervisor, name string, nvcpus int, sym *ksym.Table, p Par
 	}
 	for i := 0; i < nvcpus; i++ {
 		vc := &VCPU{k: k, idx: i, rip: k.addr.halt}
+		// Bind the progress callbacks once; armEv and the IRQ/op paths reuse
+		// these instead of allocating a closure or method value per fire.
+		vc.evWrapFn = func() {
+			vc.ev = nil
+			fn := vc.evFn
+			vc.evFn = nil
+			fn()
+		}
+		vc.opDoneFn = vc.opDone
+		vc.irqStageDoneFn = vc.irqStageDone
+		vc.pleFireFn = vc.pleFire
+		vc.ackSpinFireFn = vc.ackSpinFire
 		vc.hvv = h.AddVCPU(dom, vc)
 		k.VCPUs = append(k.VCPUs, vc)
 	}
@@ -314,6 +327,14 @@ func (k *Kernel) NewThread(vcpuIdx int, name string, prog Program) *Thread {
 		Name: name,
 		vc:   vc,
 		prog: prog,
+	}
+	// Pre-bound completion callbacks for blocking ops, so OpSleep/OpDisk
+	// don't allocate a fresh closure per operation.
+	id, tv := uint64(t.ID), vc.hvv
+	t.timerFn = func() { k.HV.DeliverLocal(tv, hv.VecTimer, id) }
+	t.diskFn = func() {
+		// Completion raises a per-queue MSI on the submitting vCPU.
+		k.HV.InjectPIRQTo(tv, hv.VecDisk, id)
 	}
 	k.threads = append(k.threads, t)
 	t.state = ThreadReady

@@ -152,6 +152,10 @@ type Thread struct {
 
 	switchedInAt simtime.Time
 	OpsDone      uint64
+
+	// Pre-bound blocking-op completion callbacks (set in NewThread).
+	timerFn func() // sleep-timer expiry -> local VecTimer
+	diskFn  func() // disk completion  -> per-queue VecDisk MSI
 }
 
 // State returns the thread's scheduler state.

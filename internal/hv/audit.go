@@ -84,22 +84,27 @@ type Auditor struct {
 	dropped    int
 	// starved dedups starvation reports: one per (vCPU, wait episode).
 	starved map[*VCPU]simtime.Time
+	// running/queued are the walk's scratch maps (pass-1 placement counts),
+	// allocated once and cleared per walk so a hardened run's audit cadence
+	// is allocation-free.
+	running map[*VCPU]int
+	queued  map[*VCPU]int
 }
 
 // EnableAudit arms a periodic invariant walk on the hypervisor's clock.
 // Call before Start; the first walk runs one interval into the run. The
 // walk itself never mutates scheduler state, so enabling the auditor does
-// not change simulation results.
+// not change simulation results. Each walk re-arms itself through
+// Clock.Reschedule, reusing its event and pre-bound callback.
 func (h *Hypervisor) EnableAudit(cfg AuditConfig) *Auditor {
 	a := &Auditor{
 		h:       h,
 		cfg:     cfg.withDefaults(h.Cfg),
 		starved: make(map[*VCPU]simtime.Time),
 	}
-	var walk func()
-	walk = func() {
+	walk := func() {
 		a.audit()
-		h.Clock.AfterLabeled(a.cfg.Interval, "audit", walk)
+		h.Clock.Reschedule(a.cfg.Interval)
 	}
 	h.Clock.AfterLabeled(a.cfg.Interval, "audit", walk)
 	return a
@@ -142,9 +147,19 @@ func (a *Auditor) audit() {
 	h := a.h
 	now := h.Clock.Now()
 
+	// Pass 0: the derived occupancy index agrees with the ground truth.
+	if err := h.VerifySchedIndex(); err != nil {
+		a.report("index", "%v", err)
+	}
+
 	// Pass 1: pCPU-side view. Count where each vCPU appears.
-	running := make(map[*VCPU]int, len(h.vcpus))
-	queued := make(map[*VCPU]int, len(h.vcpus))
+	if a.running == nil {
+		a.running = make(map[*VCPU]int, len(h.vcpus))
+		a.queued = make(map[*VCPU]int, len(h.vcpus))
+	}
+	running, queued := a.running, a.queued
+	clear(running)
+	clear(queued)
 	for _, p := range h.pcpus {
 		if p.offline {
 			if p.pool != nil {

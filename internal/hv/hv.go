@@ -81,6 +81,11 @@ func DefaultConfig() Config {
 	}
 }
 
+// MaxPCPUs is the largest supported machine size. The scheduler's pool
+// occupancy index packs per-pCPU state into uint64 bitmasks (one bit per
+// pool slot), so a pool can never hold more than 64 pCPUs.
+const MaxPCPUs = 64
+
 // ConfigError reports a Config field whose value cannot produce a sound
 // simulation (division by zero in credit burning, empty machines, negative
 // costs). New panics with its message; callers that build configs from
@@ -103,6 +108,8 @@ func (c Config) Validate() error {
 	switch {
 	case c.PCPUs <= 0:
 		return &ConfigError{"PCPUs", fmt.Sprintf("need at least one pCPU, got %d", c.PCPUs)}
+	case c.PCPUs > MaxPCPUs:
+		return &ConfigError{"PCPUs", fmt.Sprintf("at most %d pCPUs supported (pool occupancy masks are 64-bit), got %d", MaxPCPUs, c.PCPUs)}
 	case c.NormalSlice <= 0:
 		return &ConfigError{"NormalSlice", fmt.Sprintf("slice must be positive, got %v", c.NormalSlice)}
 	case c.MicroSlice <= 0:
@@ -316,7 +323,10 @@ func (v *VCPU) Credits() int { return v.credits }
 // OnMicro reports whether the vCPU currently belongs to the micro pool.
 func (v *VCPU) OnMicro() bool { return v.pool != v.homePool }
 
-// Pin restricts the vCPU to one pCPU of its home pool (-1 unpins).
+// Pin restricts the vCPU to one pCPU of its home pool (-1 unpins). Pin is a
+// setup-time call (before Start); changing the pinning of a live vCPU must
+// go through Hypervisor.RePin, which also re-places a queued vCPU and
+// notifies idle pCPUs whose suppressed tick the change may concern.
 func (v *VCPU) Pin(pcpu int) { v.pin = pcpu }
 
 // RanTotal returns the accumulated execution time (updated on deschedule).
@@ -397,6 +407,31 @@ type PCPU struct {
 	// offline marks a hot-unplugged pCPU (fault injection): it belongs to
 	// no pool, holds no work, and its tick idles until OnlinePCPU.
 	offline bool
+
+	// Occupancy-index state (see DESIGN.md "Scheduler occupancy index").
+	// slot is this pCPU's position in pool.pcpus and its bit index in the
+	// pool's occ/busyMask/parkedMask bitmasks; -1 while in no pool.
+	// headPrio caches runq[0].prio (PrioIdle when the queue is empty) so
+	// the steal scan can reject a whole queue without touching its slice.
+	slot     int
+	headPrio Priority
+
+	// Reusable tick state: tickFn is the pre-bound tick callback (created
+	// once in Start), tickEv the armed tick event (nil while parked or
+	// inside the tick callback), tickPhase the pCPU's stagger phase in
+	// [0, Tick) so a parked tick re-arms on its original grid, and parked
+	// marks an idle pCPU whose tick is suppressed.
+	tickFn    func()
+	tickEv    *simtime.Event
+	tickPhase simtime.Duration
+	parked    bool
+
+	// sliceFn/startFn are the pre-bound slice-expiry and warmup-complete
+	// callbacks (created once in New); both act on p.cur, which is stable
+	// while either event is armed because descheduleCurrent always cancels
+	// them before clearing cur.
+	sliceFn func()
+	startFn func()
 }
 
 // Current returns the vCPU running on this pCPU (nil when idle).
@@ -426,6 +461,44 @@ type Pool struct {
 	NoPreempt  bool // running vCPUs finish their slice (no tickle preemption)
 
 	pcpus []*PCPU
+
+	// Occupancy index: one bit per pool slot (pcpus index). occ marks
+	// members with a non-empty runqueue, busyMask members with a current
+	// vCPU, parkedMask members whose idle tick is suppressed. Maintained
+	// by enqueue/dequeue/dispatch/deschedule and rebuilt by reindex on any
+	// membership change; VerifySchedIndex cross-validates them.
+	occ        uint64
+	busyMask   uint64
+	parkedMask uint64
+}
+
+// memberMask returns the bitmask covering every current pool slot.
+func (pl *Pool) memberMask() uint64 {
+	// A 64-member pool shifts by 64, which in Go yields 0, making the
+	// mask ^uint64(0) — still correct.
+	return uint64(1)<<uint(len(pl.pcpus)) - 1
+}
+
+// reindex rebuilds the pool's slots and occupancy masks from the ground
+// truth after a membership change (grow/shrink/hotplug).
+func (pl *Pool) reindex() {
+	pl.occ, pl.busyMask, pl.parkedMask = 0, 0, 0
+	for i, p := range pl.pcpus {
+		p.slot = i
+		bit := uint64(1) << uint(i)
+		if len(p.runq) > 0 {
+			pl.occ |= bit
+			p.headPrio = p.runq[0].prio
+		} else {
+			p.headPrio = PrioIdle
+		}
+		if p.cur != nil {
+			pl.busyMask |= bit
+		}
+		if p.parked {
+			pl.parkedMask |= bit
+		}
+	}
 }
 
 // PCPUs returns the pool's current pCPUs.
@@ -527,7 +600,12 @@ func New(clock *simtime.Clock, cfg Config) *Hypervisor {
 		NoPreempt:  true, // urgent tasks complete without interruption (§5)
 	}
 	for i := 0; i < cfg.PCPUs; i++ {
-		p := &PCPU{ID: i, pool: h.normal}
+		p := &PCPU{ID: i, pool: h.normal, slot: i, headPrio: PrioIdle}
+		// Pre-bound per-pCPU callbacks: dispatch and slice expiry are the
+		// hottest periodic paths, and binding here (once per machine, not
+		// once per dispatch) keeps them allocation-free.
+		p.sliceFn = func() { h.sliceExpired(p) }
+		p.startFn = func() { h.startCurrent(p) }
 		h.pcpus = append(h.pcpus, p)
 		h.normal.pcpus = append(h.normal.pcpus, p)
 	}
@@ -683,7 +761,9 @@ func (h *Hypervisor) Start() {
 	for i, p := range h.pcpus {
 		p := p
 		offset := h.Cfg.Tick * simtime.Duration(i+1) / n
-		h.Clock.AfterLabeled(offset, "tick", func() { h.pcpuTick(p) })
+		p.tickPhase = offset % h.Cfg.Tick
+		p.tickFn = func() { h.pcpuTick(p) }
+		p.tickEv = h.Clock.AfterLabeled(offset, "tick", p.tickFn)
 	}
 	h.Clock.AfterLabeled(h.Cfg.Tick*simtime.Duration(h.Cfg.TicksPerAcct), "acct", h.acctTick)
 }

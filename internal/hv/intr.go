@@ -149,7 +149,11 @@ func (h *Hypervisor) injectOrQueue(dst *VCPU, vec Vector, data uint64, span obs.
 func (h *Hypervisor) drainPending(v *VCPU) {
 	for len(v.pending) > 0 && v.state == StateRunning {
 		irq := v.pending[0]
-		v.pending = v.pending[1:]
+		// Pop by copy-down, not re-slicing: v.pending = v.pending[1:] would
+		// strand the backing array's head and make every later append
+		// reallocate; shifting keeps the array reusable forever.
+		n := copy(v.pending, v.pending[1:])
+		v.pending = v.pending[:n]
 		if h.Obs != nil {
 			h.Obs.End(irq.Span, h.Clock.Now())
 		}

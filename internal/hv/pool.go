@@ -2,6 +2,7 @@ package hv
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/microslicedcore/microsliced/internal/trace"
 )
@@ -25,16 +26,17 @@ func (h *Hypervisor) MigrateToMicro(v *VCPU) bool {
 	if v.state == StateRunning {
 		return false
 	}
-	// Find capacity first so failure leaves the vCPU untouched.
+	// Find capacity first so failure leaves the vCPU untouched. The fully
+	// idle case (no current vCPU, empty runqueue) is one mask probe; the
+	// fallback scan only runs when every micro pCPU holds work.
 	var idle, queued *PCPU
-	for _, p := range h.micro.pcpus {
-		if p.cur == nil && len(p.runq) == 0 {
-			idle = p
-			break
-		}
-		if h.micro.RunqLimit == 0 || len(p.runq) < h.micro.RunqLimit {
-			if queued == nil {
+	if free := ^(h.micro.occ | h.micro.busyMask) & h.micro.memberMask(); free != 0 {
+		idle = h.micro.pcpus[bits.TrailingZeros64(free)]
+	} else {
+		for _, p := range h.micro.pcpus {
+			if h.micro.RunqLimit == 0 || len(p.runq) < h.micro.RunqLimit {
 				queued = p
+				break
 			}
 		}
 	}
@@ -93,11 +95,17 @@ func (h *Hypervisor) sendHome(v *VCPU) {
 // it correctly).
 func (h *Hypervisor) RePin(v *VCPU, pcpu int) {
 	v.pin = pcpu
-	if v.state == StateRunnable && v.queuedOn != nil && !v.canRunOn(v.queuedOn) {
-		h.dequeue(v)
-		q := h.homePCPU(v)
-		h.enqueue(q, v)
-		h.tickle(q)
+	if v.state == StateRunnable && v.queuedOn != nil {
+		if !v.canRunOn(v.queuedOn) {
+			h.dequeue(v)
+			q := h.homePCPU(v)
+			h.enqueue(q, v)
+			h.tickle(q)
+		} else if v.pool.parkedMask != 0 {
+			// The vCPU stays put, but the pin change may have made it
+			// stealable by a pCPU whose idle tick is parked.
+			h.unparkPool(v.pool)
+		}
 	}
 }
 
@@ -164,6 +172,7 @@ func (h *Hypervisor) GrowMicro() bool {
 	p.pool = h.micro
 	p.lastRan = nil
 	h.micro.pcpus = append(h.micro.pcpus, p)
+	h.micro.reindex()
 	h.count("pool.grow")
 	h.emit(trace.KindPoolResize, nil, uint64(len(h.micro.pcpus)), 0)
 	return true
@@ -190,9 +199,11 @@ func (h *Hypervisor) ShrinkMicro() bool {
 		h.sendHome(v)
 	}
 	h.micro.pcpus = h.micro.pcpus[:n-1]
+	h.micro.reindex()
 	p.pool = h.normal
 	p.lastRan = nil
 	h.normal.pcpus = append(h.normal.pcpus, p)
+	h.normal.reindex()
 	h.count("pool.shrink")
 	h.emit(trace.KindPoolResize, nil, uint64(len(h.micro.pcpus)), 0)
 	// The pCPU can immediately pick up normal work.
@@ -309,6 +320,8 @@ func (h *Hypervisor) OfflinePCPU(id int) error {
 	p.pool = nil
 	p.lastRan = nil
 	p.offline = true
+	// The tick stays armed and parks itself at its next fire; OnlinePCPU
+	// resumes it on the original stagger grid.
 	h.count("hotplug.offline")
 	h.emit(trace.KindHotplug, nil, 0, uint64(p.ID))
 	return nil
@@ -328,6 +341,8 @@ func (h *Hypervisor) OnlinePCPU(id int) error {
 	p.pool = h.normal
 	p.lastRan = nil
 	h.normal.pcpus = append(h.normal.pcpus, p)
+	h.normal.reindex()
+	h.unparkTick(p)
 	h.count("hotplug.online")
 	h.emit(trace.KindHotplug, nil, 1, uint64(p.ID))
 	h.schedule(p)
@@ -347,6 +362,8 @@ func (h *Hypervisor) removePCPU(pool *Pool, p *PCPU) {
 	for i, q := range pool.pcpus {
 		if q == p {
 			pool.pcpus = append(pool.pcpus[:i], pool.pcpus[i+1:]...)
+			p.slot = -1
+			pool.reindex()
 			return
 		}
 	}

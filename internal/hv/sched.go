@@ -2,6 +2,8 @@ package hv
 
 import (
 	"fmt"
+	"math/bits"
+
 	"github.com/microslicedcore/microsliced/internal/simtime"
 
 	"github.com/microslicedcore/microsliced/internal/obs"
@@ -13,6 +15,9 @@ import (
 // ---------------------------------------------------------------------------
 
 // enqueue inserts v at the tail of its priority class on p's runqueue.
+// Queued work may be stealable by any pool sibling, so every parked tick in
+// the pool re-arms here (each either finds the work at its next tick or
+// parks again).
 func (h *Hypervisor) enqueue(p *PCPU, v *VCPU) {
 	if v.queuedOn != nil {
 		panic(fmt.Sprintf("hv: %v already queued", v))
@@ -31,6 +36,12 @@ func (h *Hypervisor) enqueue(p *PCPU, v *VCPU) {
 	copy(p.runq[pos+1:], p.runq[pos:])
 	p.runq[pos] = v
 	v.queuedOn = p
+	p.headPrio = p.runq[0].prio
+	pl := p.pool
+	pl.occ |= 1 << uint(p.slot)
+	if pl.parkedMask != 0 {
+		h.unparkPool(pl)
+	}
 }
 
 // dequeue removes v from the runqueue it is on.
@@ -43,6 +54,12 @@ func (h *Hypervisor) dequeue(v *VCPU) {
 		if q == v {
 			p.runq = append(p.runq[:i], p.runq[i+1:]...)
 			v.queuedOn = nil
+			if len(p.runq) == 0 {
+				p.headPrio = PrioIdle
+				p.pool.occ &^= 1 << uint(p.slot)
+			} else {
+				p.headPrio = p.runq[0].prio
+			}
 			return
 		}
 	}
@@ -61,6 +78,9 @@ func resortRunq(p *PCPU) {
 			j--
 		}
 		q[j+1] = v
+	}
+	if len(q) > 0 {
+		p.headPrio = q[0].prio
 	}
 }
 
@@ -94,6 +114,13 @@ func (h *Hypervisor) homePCPU(v *VCPU) *PCPU {
 		if p.ID == v.lastPCPU {
 			return p
 		}
+	}
+	// Least-loaded scan. When some member is fully idle (no current vCPU,
+	// empty runqueue — load 0), the first such slot is the answer and the
+	// occupancy masks find it in one step; ties on load 0 resolve to the
+	// lowest slot exactly as the scan below would.
+	if free := ^(pool.occ | pool.busyMask) & pool.memberMask(); free != 0 {
+		return pool.pcpus[bits.TrailingZeros64(free)]
 	}
 	best := pool.pcpus[0]
 	bestLoad := loadOf(best)
@@ -145,7 +172,15 @@ func (h *Hypervisor) schedule(p *PCPU) {
 
 // pickNext returns the best runnable vCPU for p, stealing from pool
 // siblings when they hold strictly better work (credit1's load balancing).
+// The scan walks only occupied runqueues via the pool occupancy bitmask —
+// ascending slot order, identical to walking pool.pcpus — and rejects whole
+// queues on their cached head priority; the common every-queue-empty case is
+// the single occ==0 branch.
 func (h *Hypervisor) pickNext(p *PCPU) *VCPU {
+	pl := p.pool
+	if pl.occ == 0 {
+		return nil
+	}
 	var local *VCPU
 	for _, cand := range p.runq {
 		if cand.canRunOn(p) {
@@ -157,16 +192,17 @@ func (h *Hypervisor) pickNext(p *PCPU) *VCPU {
 	if local != nil {
 		localPrio = local.prio
 	}
-	if !p.pool.NoSteal {
+	if !pl.NoSteal {
 		var best *VCPU
 		bestPrio := localPrio
-		for _, q := range p.pool.pcpus {
-			if q == p {
-				continue
+		for occ := pl.occ &^ (1 << uint(p.slot)); occ != 0; occ &= occ - 1 {
+			q := pl.pcpus[bits.TrailingZeros64(occ)]
+			if q.headPrio >= bestPrio {
+				continue // sorted: nothing better on this queue
 			}
 			for _, cand := range q.runq {
 				if cand.prio >= bestPrio {
-					break // sorted: nothing better on this queue
+					break
 				}
 				if cand.canRunOn(p) {
 					best, bestPrio = cand, cand.prio
@@ -206,6 +242,13 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 	v.pcpu = p
 	v.lastPCPU = p.ID
 	p.cur = v
+	p.pool.busyMask |= 1 << uint(p.slot)
+	if p.parked {
+		// Direct dispatch onto an idle pCPU (micro migration, steal during
+		// a sibling's refresh): its suppressed tick must resume to burn the
+		// new vCPU's credits.
+		h.unparkTick(p)
+	}
 	h.hot.dispatch.Inc()
 	stolen := h.stoleNext
 	h.stoleNext = false
@@ -223,7 +266,7 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 		// 0.1 ms slice always wins while a vCPU is being accelerated.
 		slice = v.sliceOverride
 	}
-	p.sliceEv = h.Clock.AfterLabeled(slice, "slice", func() { h.sliceExpired(p, v) })
+	p.sliceEv = h.Clock.AfterLabeled(slice, "slice", p.sliceFn)
 
 	// Re-dispatching the vCPU the pCPU just ran is free (registers and
 	// cache are warm); switching pays the direct cost plus the cache
@@ -235,20 +278,26 @@ func (h *Hypervisor) dispatch(p *PCPU, v *VCPU) {
 		cost = 0
 	}
 	p.lastRan = v
-	start := func() {
-		v.warmupEv = nil
-		v.runningSince = h.Clock.Now()
-		v.burnAt = h.Clock.Now()
-		v.Guest.OnScheduled(h.Clock.Now())
-		// The guest may have synchronously yielded or blocked.
-		if p.cur == v {
-			h.drainPending(v)
-		}
-	}
 	if cost > 0 {
-		v.warmupEv = h.Clock.AfterLabeled(cost, "ctxswitch", start)
+		v.warmupEv = h.Clock.AfterLabeled(cost, "ctxswitch", p.startFn)
 	} else {
-		start()
+		h.startCurrent(p)
+	}
+}
+
+// startCurrent hands the pCPU's current vCPU to its guest once any
+// context-switch cost has elapsed. p.cur is the vCPU this fires for:
+// descheduleCurrent cancels the warmup event, so cur cannot have changed
+// underneath an armed p.startFn.
+func (h *Hypervisor) startCurrent(p *PCPU) {
+	v := p.cur
+	v.warmupEv = nil
+	v.runningSince = h.Clock.Now()
+	v.burnAt = h.Clock.Now()
+	v.Guest.OnScheduled(h.Clock.Now())
+	// The guest may have synchronously yielded or blocked.
+	if p.cur == v {
+		h.drainPending(v)
 	}
 }
 
@@ -283,6 +332,7 @@ func (h *Hypervisor) descheduleCurrent(p *PCPU) *VCPU {
 	v.prio = v.basePrio()
 	v.pcpu = nil
 	p.cur = nil
+	p.pool.busyMask &^= 1 << uint(p.slot)
 	return v
 }
 
@@ -309,12 +359,15 @@ func (h *Hypervisor) requeuePreempted(p *PCPU, v *VCPU) {
 	}
 }
 
-// sliceExpired preempts v at the end of its quantum on p.
-func (h *Hypervisor) sliceExpired(p *PCPU, v *VCPU) {
-	if p.cur != v {
+// sliceExpired preempts the current vCPU at the end of its quantum on p.
+// The slice event is cancelled whenever cur changes (descheduleCurrent), so
+// at fire time p.cur is exactly the vCPU the slice was armed for.
+func (h *Hypervisor) sliceExpired(p *PCPU) {
+	p.sliceEv = nil
+	v := p.cur
+	if v == nil {
 		return // stale timer (should have been cancelled)
 	}
-	p.sliceEv = nil
 	h.hot.preempt.Inc()
 	h.emit(trace.KindPreempt, v, 0, 0)
 	h.descheduleCurrent(p)
@@ -439,11 +492,19 @@ func (h *Hypervisor) countYield(v *VCPU, reason YieldReason) {
 // pCPUs (as on real hardware): a synchronized tick would re-evaluate every
 // runqueue at the same instant and produce artificial gang scheduling of
 // same-priority vCPU sets.
+//
+// A tick that finds the pCPU fully idle — no current vCPU and an empty
+// runqueue after refreshQueue's pick, i.e. pickNext found nothing in the
+// whole pool this pCPU may run — parks instead of re-arming: firing it again
+// would be a no-op. Every path that can make such a tick matter again
+// (enqueue anywhere in the pool, direct dispatch, coming back online)
+// re-arms it on its original stagger grid via unparkTick, so the observable
+// tick times are exactly those of an never-parked tick.
 func (h *Hypervisor) pcpuTick(p *PCPU) {
+	p.tickEv = nil
 	if p.offline {
-		// Keep the tick armed so the pCPU resumes accounting when it
-		// comes back online; an offline core has nothing to charge.
-		h.Clock.AfterLabeled(h.Cfg.Tick, "tick", func() { h.pcpuTick(p) })
+		// Nothing to charge and no pool to scan; park until OnlinePCPU.
+		p.parked = true
 		return
 	}
 	if v := p.cur; v != nil {
@@ -466,7 +527,46 @@ func (h *Hypervisor) pcpuTick(p *PCPU) {
 		}
 	}
 	h.refreshQueue(p)
-	h.Clock.AfterLabeled(h.Cfg.Tick, "tick", func() { h.pcpuTick(p) })
+	if p.cur == nil && len(p.runq) == 0 {
+		h.parkTick(p)
+		return
+	}
+	p.tickEv = h.Clock.Reschedule(h.Cfg.Tick)
+}
+
+// parkTick suppresses the tick of an idle pCPU (the tick event has already
+// fired and is not re-armed).
+func (h *Hypervisor) parkTick(p *PCPU) {
+	p.parked = true
+	if p.pool != nil {
+		p.pool.parkedMask |= 1 << uint(p.slot)
+	}
+}
+
+// unparkTick re-arms a parked tick on the pCPU's original stagger grid: the
+// next fire lands at the exact instant the tick would have fired had it
+// never been parked, so credit burning and queue refreshes keep their
+// bit-identical cadence.
+func (h *Hypervisor) unparkTick(p *PCPU) {
+	if !p.parked {
+		return
+	}
+	p.parked = false
+	if p.pool != nil {
+		p.pool.parkedMask &^= 1 << uint(p.slot)
+	}
+	now := h.Clock.Now()
+	delta := h.Cfg.Tick - (now-p.tickPhase)%h.Cfg.Tick
+	p.tickEv = h.Clock.AfterLabeled(delta, "tick", p.tickFn)
+}
+
+// unparkPool re-arms every parked tick in the pool (new stealable work
+// appeared; each pCPU's next tick decides for itself whether it still
+// matters).
+func (h *Hypervisor) unparkPool(pl *Pool) {
+	for m := pl.parkedMask; m != 0; m &= m - 1 {
+		h.unparkTick(pl.pcpus[bits.TrailingZeros64(m)])
+	}
 }
 
 // burnCredits charges a running vCPU for its runtime since the last charge.
@@ -494,7 +594,7 @@ func (h *Hypervisor) acctTick() {
 	for _, p := range h.pcpus {
 		h.refreshQueue(p)
 	}
-	h.Clock.AfterLabeled(h.Cfg.Tick*simtime.Duration(h.Cfg.TicksPerAcct), "acct", h.acctTick)
+	h.Clock.Reschedule(h.Cfg.Tick * simtime.Duration(h.Cfg.TicksPerAcct))
 }
 
 // refreshQueue re-derives queued priorities and picks up work on an idle

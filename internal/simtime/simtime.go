@@ -123,6 +123,7 @@ type Clock struct {
 	fired   uint64
 	stopped bool
 	free    []*Event // recycled Event objects (see package comment)
+	firing  *Event   // event whose callback is executing (Reschedule target)
 
 	// jitter, when set, perturbs the delay of every After/AfterLabeled
 	// call (fault injection: timer-tick jitter). The returned delay is
@@ -283,12 +284,48 @@ func (c *Clock) Step() bool {
 		}
 	}
 	fn := ev.fn
+	prev := c.firing
+	c.firing = ev
 	fn()
 	// Recycled only after the callback: during fn the fired event cannot be
 	// reused, so a stale Cancel through an old reference stays a no-op
-	// instead of killing an unrelated fresh event.
-	c.recycle(ev)
+	// instead of killing an unrelated fresh event. A callback that called
+	// Reschedule re-queued the very same Event; it must survive.
+	if c.firing == ev {
+		c.recycle(ev)
+	}
+	c.firing = prev
 	return true
+}
+
+// Reschedule re-arms the event whose callback is currently executing to fire
+// again d nanoseconds from now, reusing the same Event object (callback and
+// label preserved) instead of recycling it. It is the allocation-free form of
+// calling AfterLabeled(d, label, fn) from inside fn for periodic events, and
+// is bit-identical to it: the re-armed event draws the same sequence number
+// the equivalent AfterLabeled call would have drawn. An installed delay
+// jitter applies exactly as in AfterLabeled. Calling Reschedule outside an
+// event callback, twice in one callback, or with negative d panics.
+func (c *Clock) Reschedule(d Duration) *Event {
+	ev := c.firing
+	if ev == nil {
+		panic("simtime: Reschedule outside an event callback")
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: rescheduling event %q %v before now (negative delay)", ev.label, d))
+	}
+	if c.jitter != nil {
+		if d = c.jitter(ev.label, d); d < 0 {
+			d = 0
+		}
+	}
+	c.firing = nil
+	c.seq++
+	ev.when = c.now + d
+	ev.seq = c.seq
+	ev.clockRef = c
+	c.pq.push(ev)
+	return ev
 }
 
 // RunUntil executes events until the queue is exhausted or the next event
