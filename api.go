@@ -8,6 +8,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/experiment"
 	"github.com/microslicedcore/microsliced/internal/fault"
 	"github.com/microslicedcore/microsliced/internal/obs"
+	"github.com/microslicedcore/microsliced/internal/recovery"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/workload"
 )
@@ -64,6 +65,10 @@ type Scenario struct {
 	// Audit arms the scheduler invariant auditor even without faults;
 	// whatever it finds lands in Results.InvariantViolations.
 	Audit bool
+	// Recovery, when non-nil, attaches the self-healing supervisor; its
+	// detections and repairs land in Results.Repairs, and — with a
+	// Faults.QuiesceAtMs point — the convergence time in Results.MTTRSeconds.
+	Recovery *RecoveryPlan
 	// Telemetry, when non-nil, attaches the observability layer (per-vCPU
 	// state accounting, latency spans, flight recorder); the read-out lands
 	// in Results.Telemetry. The zero config is valid.
@@ -105,19 +110,53 @@ type FaultPlan struct {
 	// probability by LockStallFactor.
 	LockStallProb   float64
 	LockStallFactor float64
+	// PermanentOfflinePCPUs hot-unplugs this many additional pCPUs that
+	// never come back — permanent capacity loss the supervisor (Recovery)
+	// reacts to by re-homing vCPUs and shrinking the micro pool.
+	PermanentOfflinePCPUs int
+	// Storms overlays this many correlated fault bursts: inside each storm
+	// window the IPI drop/delay probabilities, tick jitter and lock-stall
+	// amplification are raised to harsh floors simultaneously.
+	Storms int
+	// StormLenMs is each storm's length (0: a twentieth of the run).
+	StormLenMs float64
+	// LoseIPIs converts IPI drops that exhaust the bounded retry budget
+	// into lost interrupts, parked in a ledger until the supervisor
+	// re-drives them. Requires IPIDropProb > 0 or Storms > 0.
+	LoseIPIs bool
+	// QuiesceAtMs, when positive, stops all fault firing at this point of
+	// the run, opening the convergence window MTTR is measured over.
+	QuiesceAtMs float64
 }
 
 func (f *FaultPlan) toConfig() fault.Config {
 	return fault.Config{
-		Seed:            f.Seed,
-		OfflinePCPUs:    f.OfflinePCPUs,
-		IPIDelayProb:    f.IPIDelayProb,
-		IPIDelayMax:     simtime.Duration(f.IPIDelayMaxUs * float64(simtime.Microsecond)),
-		IPIDropProb:     f.IPIDropProb,
-		TickJitter:      simtime.Duration(f.TickJitterUs * float64(simtime.Microsecond)),
-		LockStallProb:   f.LockStallProb,
-		LockStallFactor: f.LockStallFactor,
+		Seed:                  f.Seed,
+		OfflinePCPUs:          f.OfflinePCPUs,
+		PermanentOfflinePCPUs: f.PermanentOfflinePCPUs,
+		IPIDelayProb:          f.IPIDelayProb,
+		IPIDelayMax:           simtime.Duration(f.IPIDelayMaxUs * float64(simtime.Microsecond)),
+		IPIDropProb:           f.IPIDropProb,
+		LoseIPIs:              f.LoseIPIs,
+		TickJitter:            simtime.Duration(f.TickJitterUs * float64(simtime.Microsecond)),
+		LockStallProb:         f.LockStallProb,
+		LockStallFactor:       f.LockStallFactor,
+		Storms:                f.Storms,
+		StormLen:              simtime.Duration(f.StormLenMs * float64(simtime.Millisecond)),
+		QuiesceAt:             simtime.Duration(f.QuiesceAtMs * float64(simtime.Millisecond)),
 	}
+}
+
+// RecoveryPlan arms the self-healing supervisor: a periodic deterministic
+// detector for starved vCPUs, lost IPIs and capacity loss, with escalating
+// bounded repairs (credit re-grant, unpin/re-home, forced dispatch, IPI
+// re-drive, micro-pool resize). The zero value uses the defaults.
+type RecoveryPlan struct {
+	// IntervalMs is the supervision walk period (0: the scheduler tick).
+	IntervalMs float64
+	// StarveBoundMs is how long a vCPU may sit runnable-but-undispatched
+	// before the supervisor declares starvation (0: 50ms).
+	StarveBoundMs float64
 }
 
 // ScenarioError reports an invalid Scenario field.
@@ -194,11 +233,19 @@ func (s Scenario) Validate() error {
 		if err := s.Faults.toConfig().Validate(); err != nil {
 			return &ScenarioError{Field: "Faults", Reason: err.Error()}
 		}
-		if s.Faults.OfflinePCPUs > pcpus-1 {
+		if off := s.Faults.OfflinePCPUs + s.Faults.PermanentOfflinePCPUs; off > pcpus-1 {
 			return &ScenarioError{
 				Field:  "Faults.OfflinePCPUs",
-				Reason: fmt.Sprintf("%d leaves no core online (host has %d pCPUs)", s.Faults.OfflinePCPUs, pcpus),
+				Reason: fmt.Sprintf("%d offline pCPUs leave no core online (host has %d)", off, pcpus),
 			}
+		}
+	}
+	if r := s.Recovery; r != nil {
+		if r.IntervalMs < 0 {
+			return &ScenarioError{Field: "Recovery.IntervalMs", Reason: fmt.Sprintf("%v is negative", r.IntervalMs)}
+		}
+		if r.StarveBoundMs < 0 {
+			return &ScenarioError{Field: "Recovery.StarveBoundMs", Reason: fmt.Sprintf("%v is negative", r.StarveBoundMs)}
 		}
 	}
 	return nil
@@ -247,6 +294,17 @@ type Results struct {
 	InvariantViolations []string
 	// FaultErrors lists injected faults the hypervisor refused to apply.
 	FaultErrors []string
+	// Repairs lists the supervisor's retained detections and repairs in
+	// order (empty unless Scenario.Recovery was set), and RepairCount the
+	// exact total including any that aged out of the retained ring.
+	Repairs     []string
+	RepairCount uint64
+	// MTTRSeconds is the quiesce→last-repair convergence time (0 without a
+	// supervisor, a fault quiesce point, or any post-quiesce repairs).
+	MTTRSeconds float64
+	// LostIPIs counts interrupts still in the lost-IPI ledger at run end; a
+	// converged recovery run drains it to zero.
+	LostIPIs int
 	// Telemetry is the observability read-out (nil unless
 	// Scenario.Telemetry was set).
 	Telemetry *Telemetry
@@ -310,6 +368,12 @@ func Simulate(s Scenario) (*Results, error) {
 		fc := s.Faults.toConfig()
 		setup.Faults = &fc
 	}
+	if s.Recovery != nil {
+		setup.Recovery = &recovery.Config{
+			Interval:    simtime.Duration(s.Recovery.IntervalMs * float64(simtime.Millisecond)),
+			StarveBound: simtime.Duration(s.Recovery.StarveBoundMs * float64(simtime.Millisecond)),
+		}
+	}
 	if s.Seconds > 0 {
 		setup.Duration = simtime.Duration(s.Seconds * float64(simtime.Second))
 	}
@@ -359,9 +423,15 @@ func Simulate(s Scenario) (*Results, error) {
 		DetectorCounters:   res.Core,
 		CriticalSymbolHits: res.SymbolHits,
 		FaultErrors:        res.FaultErrs,
+		RepairCount:        res.RepairCount,
+		MTTRSeconds:        res.MTTR.Seconds(),
+		LostIPIs:           res.LostIPIs,
 	}
 	for i := range res.Violations {
 		out.InvariantViolations = append(out.InvariantViolations, res.Violations[i].Error())
+	}
+	for _, e := range res.Repairs {
+		out.Repairs = append(out.Repairs, e.String())
 	}
 	if res.Telemetry != nil {
 		out.Telemetry = publicTelemetry(res.Telemetry)

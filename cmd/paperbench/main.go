@@ -23,12 +23,13 @@ import (
 
 func main() {
 	var (
-		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs,faultsweep or 'all'")
+		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs,faultsweep,recoverysweep or 'all'")
 		secs     = flag.Float64("seconds", 3, "simulated seconds per run")
 		par      = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS, 1 = serial)")
 		prof     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		faults   = flag.Bool("faults", false, "also run the fault-injection sweep (shorthand for adding faultsweep to -run)")
+		recov    = flag.Bool("recovery", false, "also run the recovery sweep: harsh faults, supervisor on, MTTR percentiles (shorthand for adding recoverysweep to -run)")
 		verbose  = flag.Bool("v", false, "attach the observability layer and print one telemetry line per scenario")
 		checked  = flag.Bool("check", false, "run the conformance conservation checks after every scenario (fails fast on a scheduler accounting violation)")
 		traceOut = flag.String("trace-out", "", "run one demo consolidation scenario, write its Chrome trace-event JSON (Perfetto-loadable) to this file, and exit")
@@ -100,9 +101,13 @@ func main() {
 	if *faults {
 		want["faultsweep"] = true
 	}
-	// The fault sweep is opt-in: "all" means the paper's artefacts.
+	if *recov {
+		want["recoverysweep"] = true
+	}
+	// The fault and recovery sweeps are opt-in: "all" means the paper's
+	// artefacts.
 	sel := func(name string) bool {
-		if name == "faultsweep" {
+		if name == "faultsweep" || name == "recoverysweep" {
 			return want[name]
 		}
 		return all || want[name]
@@ -152,6 +157,7 @@ func main() {
 		{"fig9", func() (report.Renderer, error) { return experiment.Figure9(dur) }},
 		{"ext-usercs", func() (report.Renderer, error) { return experiment.ExtensionUserCS(dur) }},
 		{"faultsweep", func() (report.Renderer, error) { return experiment.FaultSweep(dur) }},
+		{"recoverysweep", func() (report.Renderer, error) { return experiment.RecoverySweep(dur) }},
 	}
 	start := time.Now()
 	for _, j := range jobs {

@@ -47,6 +47,14 @@ var yieldReasons = []struct {
 //     numbering, cached head priorities, parked-tick bookkeeping) matches
 //     the ground-truth runqueues at end of run
 func Conservation(pr *experiment.PostRun) error {
+	return conservation(pr, 0)
+}
+
+// conservation is the shared implementation. violationsAfter lets recovery
+// runs tolerate auditor violations raised while faults were still firing:
+// only violations stamped at or after that time fail the run (zero keeps
+// the strict every-violation-fails behaviour).
+func conservation(pr *experiment.PostRun, violationsAfter simtime.Time) error {
 	var errs []string
 	fail := func(format string, args ...any) {
 		errs = append(errs, fmt.Sprintf(format, args...))
@@ -152,9 +160,18 @@ func Conservation(pr *experiment.PostRun) error {
 		}
 	}
 
-	if n := len(pr.Result.Violations); n > 0 {
-		v := pr.Result.Violations[0]
-		fail("%d invariant violations (first: %s at t=%v: %s)", n, v.Rule, v.Time, v.Detail)
+	late := 0
+	for i := range pr.Result.Violations {
+		if pr.Result.Violations[i].Time >= violationsAfter {
+			if late == 0 {
+				v := &pr.Result.Violations[i]
+				fail("invariant violation %s at t=%v: %s", v.Rule, v.Time, v.Detail)
+			}
+			late++
+		}
+	}
+	if late > 1 {
+		errs[len(errs)-1] += fmt.Sprintf(" (+%d more)", late-1)
 	}
 
 	if len(errs) > 0 {

@@ -50,12 +50,16 @@ func LoadFixture(path string) (*Fixture, error) {
 
 // ReplayFixture re-checks a fixture's shrunk scenario (falling back to the
 // original when no shrink was recorded) and returns the relation error it
-// reproduces, or nil if the failure no longer occurs.
+// reproduces, or nil if the failure no longer occurs. Recovery-conformance
+// fixtures (Recovery set) replay through CheckRecovery.
 func ReplayFixture(f *Fixture) error {
 	sc := f.Shrunk
 	if len(sc.VMs) == 0 {
 		sc = f.Original
 	}
 	var c Checker
+	if sc.Recovery != nil {
+		return c.CheckRecovery(sc)
+	}
 	return c.Check(sc)
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/microslicedcore/microsliced/internal/experiment"
 	"github.com/microslicedcore/microsliced/internal/obs"
+	"github.com/microslicedcore/microsliced/internal/recovery"
 )
 
 // Checker evaluates scenarios against the metamorphic relations and the
@@ -22,6 +23,9 @@ type Checker struct {
 type relation struct {
 	name    string
 	perturb func(*experiment.Setup)
+	// appliesTo, when non-nil, restricts the relation to scenarios it is
+	// sound for (nil: every scenario).
+	appliesTo func(Scenario) bool
 }
 
 // relations lists every perturbation applied to each scenario. Each one is
@@ -30,17 +34,25 @@ type relation struct {
 // parallel runner instead of serially, and relabelling domain IDs must all
 // leave the scheduling counters bit-identical.
 var relations = []relation{
-	{"serial-vs-batch", func(s *experiment.Setup) {}},
-	{"observer-off-vs-on", func(s *experiment.Setup) { s.Obs = &obs.Config{} }},
-	{"trace-off-vs-on", func(s *experiment.Setup) { s.HVConfig.TraceCapacity = 1 << 14 }},
-	{"audit-off-vs-on", func(s *experiment.Setup) { s.Audit = true }},
+	{"serial-vs-batch", func(s *experiment.Setup) {}, nil},
+	{"observer-off-vs-on", func(s *experiment.Setup) { s.Obs = &obs.Config{} }, nil},
+	{"trace-off-vs-on", func(s *experiment.Setup) { s.HVConfig.TraceCapacity = 1 << 14 }, nil},
+	{"audit-off-vs-on", func(s *experiment.Setup) { s.Audit = true }, nil},
 	{"domain-relabel", func(s *experiment.Setup) {
 		perm := make([]int, len(s.VMs))
 		for i := range perm {
 			perm[i] = len(perm) - 1 - i
 		}
 		s.DomRelabel = perm
-	}},
+	}, nil},
+	// On a healthy run the supervisor detects nothing and repairs nothing,
+	// so arming it must leave the schedule bit-identical — its periodic walk
+	// only adds passive clock events, which shift event sequence numbers
+	// uniformly without reordering anything. Restricted to fault-free
+	// scenarios: under faults the supervisor is *supposed* to change the run.
+	{"supervisor-off-vs-on", func(s *experiment.Setup) {
+		s.Recovery = &recovery.Config{}
+	}, func(sc Scenario) bool { return sc.Faults == nil }},
 }
 
 // Check runs sc serially as the baseline, then every metamorphic variant as
@@ -59,12 +71,17 @@ func (c *Checker) Check(sc Scenario) error {
 		c.mutate(baseRes)
 	}
 
-	variants := make([]experiment.Setup, len(relations))
-	for i, rel := range relations {
+	var variants []experiment.Setup
+	var applied []string
+	for _, rel := range relations {
+		if rel.appliesTo != nil && !rel.appliesTo(sc) {
+			continue
+		}
 		s := sc.ToSetup()
 		s.PostCheck = Conservation
 		rel.perturb(&s)
-		variants[i] = s
+		variants = append(variants, s)
+		applied = append(applied, rel.name)
 	}
 	results, err := experiment.RunAll(variants)
 	if err != nil {
@@ -72,7 +89,7 @@ func (c *Checker) Check(sc Scenario) error {
 	}
 	for i, r := range results {
 		if derr := diffResults(baseRes, r); derr != nil {
-			return fmt.Errorf("relation %q violated: %w", relations[i].name, derr)
+			return fmt.Errorf("relation %q violated: %w", applied[i], derr)
 		}
 	}
 	return nil
@@ -99,6 +116,18 @@ func diffResults(a, b *experiment.Result) error {
 	}
 	if !reflect.DeepEqual(a.FaultErrs, b.FaultErrs) {
 		return fmt.Errorf("FaultErrs %v != %v", a.FaultErrs, b.FaultErrs)
+	}
+	if a.MTTR != b.MTTR {
+		return fmt.Errorf("MTTR %v != %v", a.MTTR, b.MTTR)
+	}
+	if a.LostIPIs != b.LostIPIs {
+		return fmt.Errorf("LostIPIs %d != %d", a.LostIPIs, b.LostIPIs)
+	}
+	if a.RepairCount != b.RepairCount {
+		return fmt.Errorf("RepairCount %d != %d", a.RepairCount, b.RepairCount)
+	}
+	if !reflect.DeepEqual(a.Repairs, b.Repairs) {
+		return fmt.Errorf("repair logs differ (%d vs %d events)", len(a.Repairs), len(b.Repairs))
 	}
 	if len(a.VMs) != len(b.VMs) {
 		return fmt.Errorf("VM count %d != %d", len(a.VMs), len(b.VMs))

@@ -17,6 +17,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/experiment"
 	"github.com/microslicedcore/microsliced/internal/fault"
 	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/recovery"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
@@ -41,6 +42,11 @@ type Scenario struct {
 
 	VMs    []VMSpec   `json:"vms"`
 	Faults *FaultSpec `json:"faults,omitempty"`
+
+	// Recovery, when non-nil, arms the self-healing supervisor and marks
+	// the scenario as a recovery-conformance run (checked by CheckRecovery
+	// against the convergence laws instead of the metamorphic relations).
+	Recovery *RecoverySpec `json:"recovery,omitempty"`
 }
 
 // VMSpec is one VM of a scenario.
@@ -56,12 +62,28 @@ type VMSpec struct {
 type FaultSpec struct {
 	Seed            uint64  `json:"seed"`
 	OfflinePCPUs    int     `json:"offline_pcpus,omitempty"`
+	PermanentOffPCPUs int   `json:"permanent_off_pcpus,omitempty"`
 	IPIDelayProb    float64 `json:"ipi_delay_prob,omitempty"`
 	IPIDelayMaxUs   int     `json:"ipi_delay_max_us,omitempty"`
 	IPIDropProb     float64 `json:"ipi_drop_prob,omitempty"`
+	LoseIPIs        bool    `json:"lose_ipis,omitempty"`
 	TickJitterUs    int     `json:"tick_jitter_us,omitempty"`
 	LockStallProb   float64 `json:"lock_stall_prob,omitempty"`
 	LockStallFactor float64 `json:"lock_stall_factor,omitempty"`
+	Storms          int     `json:"storms,omitempty"`
+	StormLenMs      int     `json:"storm_len_ms,omitempty"`
+	QuiesceAtMs     int     `json:"quiesce_at_ms,omitempty"`
+}
+
+// RecoverySpec configures the supervisor for a recovery-conformance run.
+type RecoverySpec struct {
+	// IntervalMs is the supervisor walk period (0: scheduler tick).
+	IntervalMs int `json:"interval_ms,omitempty"`
+	// StarveBoundMs is the runnable wait that counts as starvation.
+	StarveBoundMs int `json:"starve_bound_ms"`
+	// DeadlineMs is the convergence window after the fault quiesce point:
+	// past quiesce+deadline no starvation, violation or repair may occur.
+	DeadlineMs int `json:"deadline_ms"`
 }
 
 // ToSetup lowers the scenario to an experiment Setup. Each call builds a
@@ -104,14 +126,25 @@ func (sc Scenario) ToSetup() experiment.Setup {
 	}
 	if f := sc.Faults; f != nil {
 		s.Faults = &fault.Config{
-			Seed:            f.Seed,
-			OfflinePCPUs:    f.OfflinePCPUs,
-			IPIDelayProb:    f.IPIDelayProb,
-			IPIDelayMax:     simtime.Duration(f.IPIDelayMaxUs) * simtime.Microsecond,
-			IPIDropProb:     f.IPIDropProb,
-			TickJitter:      simtime.Duration(f.TickJitterUs) * simtime.Microsecond,
-			LockStallProb:   f.LockStallProb,
-			LockStallFactor: f.LockStallFactor,
+			Seed:                  f.Seed,
+			OfflinePCPUs:          f.OfflinePCPUs,
+			PermanentOfflinePCPUs: f.PermanentOffPCPUs,
+			IPIDelayProb:          f.IPIDelayProb,
+			IPIDelayMax:           simtime.Duration(f.IPIDelayMaxUs) * simtime.Microsecond,
+			IPIDropProb:           f.IPIDropProb,
+			LoseIPIs:              f.LoseIPIs,
+			TickJitter:            simtime.Duration(f.TickJitterUs) * simtime.Microsecond,
+			LockStallProb:         f.LockStallProb,
+			LockStallFactor:       f.LockStallFactor,
+			Storms:                f.Storms,
+			StormLen:              simtime.Duration(f.StormLenMs) * simtime.Millisecond,
+			QuiesceAt:             simtime.Duration(f.QuiesceAtMs) * simtime.Millisecond,
+		}
+	}
+	if r := sc.Recovery; r != nil {
+		s.Recovery = &recovery.Config{
+			Interval:    simtime.Duration(r.IntervalMs) * simtime.Millisecond,
+			StarveBound: simtime.Duration(r.StarveBoundMs) * simtime.Millisecond,
 		}
 	}
 	return s
@@ -128,6 +161,10 @@ func (sc Scenario) clone() Scenario {
 	if sc.Faults != nil {
 		f := *sc.Faults
 		c.Faults = &f
+	}
+	if sc.Recovery != nil {
+		r := *sc.Recovery
+		c.Recovery = &r
 	}
 	return c
 }

@@ -48,7 +48,22 @@ func shrinkCandidates(sc Scenario) []Scenario {
 		}
 	}
 	if sc.Faults != nil {
-		add(func(c *Scenario) { c.Faults = nil })
+		add(func(c *Scenario) { c.Faults = nil; c.Recovery = nil })
+		if sc.Faults.Storms > 0 {
+			add(func(c *Scenario) {
+				c.Faults.Storms = 0
+				if c.Faults.IPIDropProb == 0 {
+					// LoseIPIs without a drop source fails validation.
+					c.Faults.LoseIPIs = false
+				}
+			})
+		}
+		if sc.Faults.PermanentOffPCPUs > 0 {
+			add(func(c *Scenario) { c.Faults.PermanentOffPCPUs-- })
+		}
+		if sc.Faults.LoseIPIs {
+			add(func(c *Scenario) { c.Faults.LoseIPIs = false })
+		}
 	}
 	if sc.DurationMs > 5 {
 		add(func(c *Scenario) { c.DurationMs /= 2 })

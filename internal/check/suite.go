@@ -56,12 +56,21 @@ func RunSuite(opt Options) (*Report, error) {
 
 // RunSuite is the method form, letting tests inject a result mutation.
 func (c *Checker) RunSuite(opt Options) (*Report, error) {
+	return c.runSuite(opt, Generate, c.Check,
+		func(s Scenario) bool { return c.Check(s) != nil })
+}
+
+// runSuite is the generate→check→shrink→fixture loop shared by the
+// metamorphic suite and the recovery-conformance suite. fails is the
+// shrinker's oracle — kept separate from check so a suite can fail closed
+// on shrink candidates that lose its required shape.
+func (c *Checker) runSuite(opt Options, gen func(uint64) Scenario, check func(Scenario) error, fails func(Scenario) bool) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{}
 	for i := 0; i < opt.Count; i++ {
 		seed := opt.Seed + uint64(i)
-		sc := Generate(seed)
-		err := c.Check(sc)
+		sc := gen(seed)
+		err := check(sc)
 		rep.Checked++
 		if opt.Progress != nil && rep.Checked%50 == 0 {
 			fmt.Fprintf(opt.Progress, "check: %d/%d scenarios, %d failures\n", rep.Checked, opt.Count, len(rep.Failures))
@@ -69,7 +78,7 @@ func (c *Checker) RunSuite(opt Options) (*Report, error) {
 		if err == nil {
 			continue
 		}
-		shrunk := Shrink(sc, func(s Scenario) bool { return c.Check(s) != nil }, opt.ShrinkBudget)
+		shrunk := Shrink(sc, fails, opt.ShrinkBudget)
 		f := Fixture{Seed: seed, Err: err.Error(), Original: sc, Shrunk: shrunk}
 		path := ""
 		if opt.FixtureDir != "" {

@@ -17,6 +17,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/ksym"
 	"github.com/microslicedcore/microsliced/internal/metrics"
 	"github.com/microslicedcore/microsliced/internal/obs"
+	"github.com/microslicedcore/microsliced/internal/recovery"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/vdisk"
 	"github.com/microslicedcore/microsliced/internal/workload"
@@ -68,6 +69,11 @@ type Setup struct {
 	// Audit arms the scheduler invariant auditor; violations land in
 	// Result.Violations. Enabled automatically when Faults are active.
 	Audit bool
+	// Recovery, when non-nil, attaches the self-healing supervisor
+	// (internal/recovery): detect→repair of starved vCPUs, lost IPIs and
+	// capacity loss. Repairs land in Result.Repairs; with a quiesce point
+	// in Faults, the quiesce→last-repair time lands in Result.MTTR.
+	Recovery *recovery.Config
 	// Obs, when non-nil, attaches the observability layer: state
 	// accounting, latency spans and the flight recorder. The end-of-run
 	// read-out lands in Result.Telemetry.
@@ -148,6 +154,17 @@ type Result struct {
 	// Telemetry is the observability read-out (nil unless Setup.Obs was
 	// set): span latency quantiles, per-vCPU/pCPU residency, flight dumps.
 	Telemetry *obs.Summary
+	// Repairs is the supervisor's retained event ring and RepairCount its
+	// exact total (zero-valued unless Setup.Recovery was set).
+	Repairs     []recovery.RepairEvent
+	RepairCount uint64
+	// MTTR is the quiesce→last-repair convergence time (0 without a
+	// supervisor, without a fault quiesce point, or when no repair was
+	// needed after quiesce).
+	MTTR simtime.Duration
+	// LostIPIs is the number of interrupts still in the hypervisor's
+	// lost-IPI ledger at run end — a converged recovery run drains it to 0.
+	LostIPIs int
 }
 
 // VM returns the result of the named VM.
@@ -249,6 +266,10 @@ func Run(s Setup) (res *Result, err error) {
 		}
 		auditor = h.EnableAudit(acfg)
 	}
+	var sup *recovery.Supervisor
+	if s.Recovery != nil {
+		sup = recovery.Attach(h, *s.Recovery)
+	}
 
 	// Livelock watchdog: pure observation (never schedules events), so it
 	// is always armed and cannot perturb results.
@@ -345,8 +366,18 @@ func Run(s Setup) (res *Result, err error) {
 			res.FaultErrs = append(res.FaultErrs, e.Error())
 		}
 	}
+	res.LostIPIs = h.LostIPICount()
+	if sup != nil {
+		res.Repairs = sup.Events()
+		res.RepairCount = sup.Total()
+		if s.Faults != nil && s.Faults.QuiesceAt > 0 {
+			res.MTTR = sup.MTTR(simtime.Time(s.Faults.QuiesceAt))
+		}
+	}
 	if observer != nil {
 		res.Telemetry = observer.Summary(clock.Now())
+		res.Telemetry.MTTR = res.MTTR
+		res.Telemetry.Repairs = int(res.RepairCount)
 	}
 	if s.TraceExport != nil {
 		names := make(map[int16]string, len(kernels))

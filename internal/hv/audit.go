@@ -152,6 +152,12 @@ func (a *Auditor) audit() {
 		a.report("index", "%v", err)
 	}
 
+	// Pass 0b: pool membership conserves capacity — every online pCPU is in
+	// exactly one pool, so the pools' online counts sum to the machine's.
+	if got, want := h.normal.OnlineCount()+h.micro.OnlineCount(), h.OnlinePCPUs(); got != want {
+		a.report("capacity", "pools hold %d online pCPUs but the machine has %d", got, want)
+	}
+
 	// Pass 1: pCPU-side view. Count where each vCPU appears.
 	if a.running == nil {
 		a.running = make(map[*VCPU]int, len(h.vcpus))

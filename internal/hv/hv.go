@@ -329,6 +329,17 @@ func (v *VCPU) OnMicro() bool { return v.pool != v.homePool }
 // notifies idle pCPUs whose suppressed tick the change may concern.
 func (v *VCPU) Pin(pcpu int) { v.pin = pcpu }
 
+// PinnedTo returns the pCPU the vCPU is pinned to (-1 if unpinned).
+func (v *VCPU) PinnedTo() int { return v.pin }
+
+// Pool returns the cpupool the vCPU currently belongs to.
+func (v *VCPU) Pool() *Pool { return v.pool }
+
+// RunnableSince returns the instant the vCPU last became Runnable (left a
+// pCPU or woke from blocked). Meaningful only while the vCPU is Runnable;
+// the auditor and the recovery supervisor key starvation episodes on it.
+func (v *VCPU) RunnableSince() simtime.Time { return v.runnableSince }
+
 // RanTotal returns the accumulated execution time (updated on deschedule).
 func (v *VCPU) RanTotal() simtime.Duration { return v.ranTotal }
 
@@ -507,6 +518,19 @@ func (pl *Pool) PCPUs() []*PCPU { return pl.pcpus }
 // Size returns the number of pCPUs in the pool.
 func (pl *Pool) Size() int { return len(pl.pcpus) }
 
+// OnlineCount returns the number of online pCPUs currently in the pool.
+// (Pools drop hot-unplugged pCPUs, so today this equals Size; the auditor
+// cross-checks exactly that.)
+func (pl *Pool) OnlineCount() int {
+	n := 0
+	for _, p := range pl.pcpus {
+		if !p.offline {
+			n++
+		}
+	}
+	return n
+}
+
 // Hooks are the attachment points for the micro-sliced-core mechanism.
 // All hooks may be nil (vanilla Xen behaviour).
 type Hooks struct {
@@ -523,6 +547,11 @@ type Hooks struct {
 	// Config.IPIRetryDelay, at most Config.IPIRetryLimit times, then
 	// delivered unconditionally.
 	IPIFault func(vec Vector) (delay simtime.Duration, drop bool)
+	// IPILoss, when non-nil, is consulted when an IPI is still dropped at
+	// the final retry attempt: returning true loses the interrupt outright
+	// (it enters the LostIPI ledger for the recovery supervisor to
+	// re-drive) instead of the deliver-anyway backstop.
+	IPILoss func(vec Vector) bool
 }
 
 // Hypervisor ties the machine together.
@@ -548,6 +577,11 @@ type Hypervisor struct {
 
 	hot hvHot // interned hypervisor-wide counters for the per-event paths
 
+	// lostIPIs is the ledger of interrupts lost past the retry limit
+	// (Hooks.IPILoss); lostSeq numbers entries monotonically per run.
+	lostIPIs []LostIPI
+	lostSeq  uint64
+
 	stoleNext bool // pickNext→dispatch handoff: the pick came from a steal
 
 	started bool
@@ -571,6 +605,7 @@ type hvHot struct {
 	migrHome    *metrics.Counter
 	vipiDropped *metrics.Counter
 	vipiRetried *metrics.Counter
+	vipiLost    *metrics.Counter
 }
 
 // yieldName maps a YieldReason to its counter name (matches YieldReason.String).
@@ -625,6 +660,7 @@ func New(clock *simtime.Clock, cfg Config) *Hypervisor {
 	h.hot.migrHome = h.Counters.Handle("migrate.home")
 	h.hot.vipiDropped = h.Counters.Handle("vipi.dropped")
 	h.hot.vipiRetried = h.Counters.Handle("vipi.retried")
+	h.hot.vipiLost = h.Counters.Handle("vipi.lost")
 	return h
 }
 
@@ -649,6 +685,19 @@ func (h *Hypervisor) PCPU(i int) *PCPU { return h.pcpus[i] }
 // AllPCPUs returns every pCPU in ID order, online or not (conservation
 // checks sum Busy across the whole machine).
 func (h *Hypervisor) AllPCPUs() []*PCPU { return h.pcpus }
+
+// OnlinePCPUs returns the number of pCPUs currently online machine-wide.
+// The recovery supervisor compares it against its attach-time baseline to
+// detect capacity loss.
+func (h *Hypervisor) OnlinePCPUs() int {
+	n := 0
+	for _, p := range h.pcpus {
+		if !p.offline {
+			n++
+		}
+	}
+	return n
+}
 
 // RelabelDomains reassigns domain IDs: the domain created i-th takes ID
 // perm[i], and the table returned by Domains is re-sorted so that

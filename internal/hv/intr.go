@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/microslicedcore/microsliced/internal/obs"
+	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/trace"
 )
 
@@ -34,25 +35,58 @@ func (h *Hypervisor) SendVIPI(src, dst *VCPU, vec Vector, data uint64) {
 		span = h.Obs.Begin(obs.SpanIPIDeliver, int16(dst.DomID), int16(dst.Idx), uint64(vec), h.Clock.Now())
 	}
 	if h.Hooks.IPIFault != nil {
-		h.sendVIPIFaulty(dst, vec, data, 0, span)
+		h.sendVIPIFaulty(dst, vec, data, 0, 0, span)
 		return
 	}
 	h.deliver(dst, vec, data, span)
 }
 
+// LostIPI is one virtual IPI dropped past the retry limit under a fault
+// plan that opted into outright loss (Hooks.IPILoss). The entry keeps
+// everything needed to re-drive the interrupt later — including its open
+// ipi_deliver span, so the eventual delivery closes the span with the full
+// loss-to-redelivery latency.
+type LostIPI struct {
+	// Seq uniquely identifies the ledger entry (monotonic per run).
+	Seq uint64
+	// Time is the instant the interrupt was declared lost (this round).
+	Time simtime.Time
+	Dst  *VCPU
+	Vec  Vector
+	Data uint64
+	// Redrives counts completed re-drives of this interrupt: a redriven
+	// IPI that is lost again re-enters the ledger with Redrives+1, which
+	// the recovery supervisor uses for exponential backoff.
+	Redrives int
+
+	span obs.SpanRef
+}
+
 // sendVIPIFaulty consults the fault hook for each delivery attempt. A
 // dropped IPI is retried after IPIRetryDelay (the guest's IPI-wait path
 // resending, as Linux's csd-lock watchdog eventually does); after
-// IPIRetryLimit drops the interrupt is delivered unconditionally — the
-// fault model perturbs timing but never loses an IPI outright, which would
-// wedge the guest rather than stress the scheduler.
-func (h *Hypervisor) sendVIPIFaulty(dst *VCPU, vec Vector, data uint64, attempt int, span obs.SpanRef) {
+// IPIRetryLimit drops the interrupt is delivered unconditionally — unless
+// Hooks.IPILoss opts into real loss, in which case the interrupt lands in
+// the LostIPI ledger for the recovery supervisor to re-drive instead of
+// silently wedging the guest.
+func (h *Hypervisor) sendVIPIFaulty(dst *VCPU, vec Vector, data uint64, attempt, redrives int, span obs.SpanRef) {
 	delay, drop := h.Hooks.IPIFault(vec)
 	if drop && attempt < h.Cfg.IPIRetryLimit {
 		h.hot.vipiDropped.Inc()
 		h.Clock.AfterLabeled(h.Cfg.IPIRetryDelay, "ipi-retry", func() {
-			h.sendVIPIFaulty(dst, vec, data, attempt+1, span)
+			h.sendVIPIFaulty(dst, vec, data, attempt+1, redrives, span)
 		})
+		return
+	}
+	if drop && h.Hooks.IPILoss != nil && h.Hooks.IPILoss(vec) {
+		h.lostSeq++
+		h.lostIPIs = append(h.lostIPIs, LostIPI{
+			Seq: h.lostSeq, Time: h.Clock.Now(),
+			Dst: dst, Vec: vec, Data: data, Redrives: redrives,
+			span: span,
+		})
+		h.hot.vipiLost.Inc()
+		h.emit(trace.KindIPILost, dst, uint64(vec), uint64(redrives))
 		return
 	}
 	if attempt > 0 {
@@ -65,6 +99,36 @@ func (h *Hypervisor) sendVIPIFaulty(dst *VCPU, vec Vector, data uint64, attempt 
 		return
 	}
 	h.deliver(dst, vec, data, span)
+}
+
+// LostIPIs returns the current lost-interrupt ledger (live slice; do not
+// mutate). Entries leave the ledger only via RedriveLostIPI.
+func (h *Hypervisor) LostIPIs() []LostIPI { return h.lostIPIs }
+
+// LostIPICount returns the number of interrupts currently lost.
+func (h *Hypervisor) LostIPICount() int { return len(h.lostIPIs) }
+
+// RedriveLostIPI removes ledger entry seq and re-sends the interrupt from
+// retry attempt zero with its Redrives count incremented. If the fault hook
+// drops it past the limit again it re-enters the ledger (new Seq, new loss
+// time); after quiesce the hook stops dropping and the redrive delivers.
+// Returns false if seq is not in the ledger.
+func (h *Hypervisor) RedriveLostIPI(seq uint64) bool {
+	for i := range h.lostIPIs {
+		if h.lostIPIs[i].Seq != seq {
+			continue
+		}
+		e := h.lostIPIs[i]
+		n := copy(h.lostIPIs[i:], h.lostIPIs[i+1:])
+		h.lostIPIs = h.lostIPIs[:i+n]
+		if h.Hooks.IPIFault != nil {
+			h.sendVIPIFaulty(e.Dst, e.Vec, e.Data, 0, e.Redrives+1, e.span)
+		} else {
+			h.deliver(e.Dst, e.Vec, e.Data, e.span)
+		}
+		return true
+	}
+	return false
 }
 
 // InjectPIRQ is called by device models (internal/vnet) when a physical

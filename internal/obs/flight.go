@@ -37,6 +37,7 @@ type FlightDump struct {
 	PCPUs     []PCPUResidency `json:"pcpus"`
 	OpenSpans []OpenSpan      `json:"open_spans,omitempty"`
 	Trace     []FlightRecord  `json:"trace,omitempty"`
+	Repairs   []RepairRecord  `json:"repairs,omitempty"`
 
 	// File is where the dump was written (empty for in-memory dumps).
 	File string `json:"-"`
@@ -64,6 +65,9 @@ func (o *Observer) Flight(now simtime.Time, reason, detail string, tail []trace.
 		VCPUs:     o.ResidencySnapshot(now),
 		PCPUs:     o.PCPUSnapshot(),
 		OpenSpans: o.OpenSpans(),
+	}
+	if o.repairTail != nil {
+		d.Repairs = o.repairTail()
 	}
 	for _, r := range tail {
 		d.Trace = append(d.Trace, FlightRecord{
@@ -96,6 +100,22 @@ func (o *Observer) writeFlight(d *FlightDump) error {
 	d.File = name
 	return nil
 }
+
+// RepairRecord is one recovery-supervisor detection or repair rendered
+// self-contained for a flight dump (the supervisor keeps the typed events;
+// obs only carries them into dumps so it need not import the recovery
+// package).
+type RepairRecord struct {
+	Time   simtime.Time `json:"t_ns"`
+	Kind   string       `json:"kind"`
+	Dom    int          `json:"dom"`
+	VCPU   int          `json:"vcpu"`
+	Detail string       `json:"detail,omitempty"`
+}
+
+// SetRepairTail registers a provider for the recovery supervisor's recent
+// RepairEvents; every subsequent flight dump includes its result.
+func (o *Observer) SetRepairTail(fn func() []RepairRecord) { o.repairTail = fn }
 
 // Flights returns the retained dumps.
 func (o *Observer) Flights() []FlightDump { return o.flights }

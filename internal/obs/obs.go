@@ -128,6 +128,10 @@ type Observer struct {
 	flights   []FlightDump
 	flightSeq int
 	flightErr error
+
+	// repairTail, when set (SetRepairTail), supplies the recovery
+	// supervisor's recent RepairEvents for flight dumps.
+	repairTail func() []RepairRecord
 }
 
 // New constructs an observer.
@@ -350,6 +354,13 @@ type Summary struct {
 	PCPUs     []PCPUResidency  `json:"pcpus"`
 	OpenSpans int              `json:"open_spans"` // spans never closed by run end
 	Flights   []FlightDump     `json:"flights,omitempty"`
+
+	// MTTR is the quiesce→last-repair convergence time of a recovery run
+	// (0 when the run had no quiesce point or needed no post-quiesce
+	// repairs); Repairs counts supervisor detections+repairs. Both are
+	// stamped by the experiment harness after the run.
+	MTTR    simtime.Duration `json:"mttr_ns,omitempty"`
+	Repairs int              `json:"repairs,omitempty"`
 }
 
 // BusiestPCPU returns the pCPU with the most accumulated execution time

@@ -325,6 +325,43 @@ func TestFlightRecorder(t *testing.T) {
 	}
 }
 
+// TestFlightDumpIncludesRepairTail: once a repair-tail provider is
+// registered (the recovery supervisor does this on Attach), every flight
+// dump carries the recent RepairEvents, and they survive the JSON round
+// trip — a post-mortem dump shows what the supervisor did leading up to
+// the trigger.
+func TestFlightDumpIncludesRepairTail(t *testing.T) {
+	dir := t.TempDir()
+	o := New(Config{FlightDepth: 2, MaxFlights: 2, FlightDir: dir, Label: "t"})
+	o.SetRepairTail(func() []RepairRecord {
+		return []RepairRecord{
+			{Time: 5 * us, Kind: "detect.starve", Dom: 0, VCPU: 1, Detail: "runnable 60ms"},
+			{Time: 7 * us, Kind: "repair.unpin", Dom: 0, VCPU: 1, Detail: "pin p3 broken"},
+		}
+	})
+	o.Flight(10*us, "invariant:starvation", "d0v1 starved", nil)
+
+	fl := o.Flights()
+	if len(fl) != 1 {
+		t.Fatalf("retained flights = %d, want 1", len(fl))
+	}
+	d := fl[0]
+	if len(d.Repairs) != 2 || d.Repairs[0].Kind != "detect.starve" || d.Repairs[1].Kind != "repair.unpin" {
+		t.Fatalf("dump repairs = %+v, want the 2 provided records", d.Repairs)
+	}
+	buf, err := os.ReadFile(d.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FlightDump
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Repairs) != 2 || back.Repairs[1].Detail != "pin p3 broken" {
+		t.Errorf("decoded repairs = %+v, want both records with details", back.Repairs)
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	o := New(Config{})
 	c := o.Config()

@@ -27,6 +27,10 @@ const (
 	// SpanNetRx measures NIC ring admission to application-level consume —
 	// the full Figure 2 delivery chain.
 	SpanNetRx
+	// SpanRecover measures a recovery-supervisor starvation episode:
+	// detection of a starved runnable vCPU to the walk that observes it
+	// running again — the per-episode time-to-reconverge.
+	SpanRecover
 	numSpanKinds
 )
 
@@ -36,6 +40,7 @@ var spanNames = [numSpanKinds]string{
 	SpanLockAcquire:  "lock_acquire",
 	SpanDiskIO:       "disk_io",
 	SpanNetRx:        "net_rx",
+	SpanRecover:      "recover",
 }
 
 // String names the span kind.

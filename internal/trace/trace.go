@@ -31,6 +31,8 @@ const (
 	KindLock            // guest lock event (acquire/contend/release)
 	KindTLB             // guest TLB shootdown event
 	KindHotplug         // pCPU taken offline (arg0=0) or brought online (arg0=1)
+	KindIPILost         // vIPI dropped past the retry limit and lost outright
+	KindRepair          // recovery supervisor detection or repair action
 	kindCount
 )
 
@@ -51,6 +53,8 @@ var kindNames = [...]string{
 	KindLock:       "lock",
 	KindTLB:        "tlb",
 	KindHotplug:    "hotplug",
+	KindIPILost:    "ipilost",
+	KindRepair:     "repair",
 }
 
 // String returns the short name of the kind.
