@@ -310,13 +310,32 @@ type Results struct {
 	Telemetry *Telemetry
 }
 
-// SpanStats summarizes one latency span kind's distribution.
+// SpanStats summarizes one latency span kind's distribution and names its
+// dominant stage (the struct stays comparable: stage detail lives in
+// Telemetry.Stages).
 type SpanStats struct {
 	Count  uint64  `json:"count"`
 	P50us  float64 `json:"p50_us"`
 	P99us  float64 `json:"p99_us"`
 	P999us float64 `json:"p999_us"`
 	MaxUs  float64 `json:"max_us"`
+	// Blame names the stage that consumed the largest share of the kind's
+	// total closed-span time, and BlamePct that share in percent.
+	Blame    string  `json:"blame,omitempty"`
+	BlamePct float64 `json:"blame_pct,omitempty"`
+}
+
+// StageStats summarizes one stage of a span kind: its share of the kind's
+// total time (a kind's shares sum to exactly 100.0) and the distribution of
+// its per-span accumulation.
+type StageStats struct {
+	Count    uint64  `json:"count"`
+	SharePct float64 `json:"share_pct"`
+	TotalMs  float64 `json:"total_ms"`
+	P50us    float64 `json:"p50_us"`
+	P99us    float64 `json:"p99_us"`
+	P999us   float64 `json:"p999_us"`
+	MaxUs    float64 `json:"max_us"`
 }
 
 // Telemetry is a scenario's observability read-out.
@@ -325,6 +344,14 @@ type Telemetry struct {
 	// "lock_acquire", "disk_io", "net_rx" — to its latency distribution.
 	// Kinds never observed are absent.
 	Spans map[string]SpanStats `json:"spans"`
+	// Stages decomposes each recorded span kind causally: Stages[kind] maps
+	// stage name (e.g. "runq_wait", "preempt_wait") to its latency budget.
+	// Σ stage durations == span duration exactly for every closed span.
+	Stages map[string]map[string]StageStats `json:"stages,omitempty"`
+	// OpenSpans attributes spans still open at run end to their kinds
+	// (kinds with none open are absent) — a persistent entry here means a
+	// span leak on that path.
+	OpenSpans map[string]int `json:"open_spans,omitempty"`
 	// BusiestPCPU is the pCPU with the most execution time, and
 	// BusiestPCPUSeconds that time.
 	BusiestPCPU        int     `json:"busiest_pcpu"`
@@ -339,6 +366,10 @@ type Telemetry struct {
 
 // Span returns the stats of one span kind (zero value if never observed).
 func (t *Telemetry) Span(kind string) SpanStats { return t.Spans[kind] }
+
+// Stage returns the stats of one (kind, stage) cell (zero value if never
+// observed).
+func (t *Telemetry) Stage(kind, stage string) StageStats { return t.Stages[kind][stage] }
 
 // VM returns the stats of the named VM (nil if absent).
 func (r *Results) VM(name string) *VMStats {
@@ -471,15 +502,41 @@ func publicTelemetry(sum *obs.Summary) *Telemetry {
 		FlightDumps: len(sum.Flights),
 	}
 	for _, sp := range sum.Spans {
+		if sp.Open > 0 {
+			if t.OpenSpans == nil {
+				t.OpenSpans = make(map[string]int)
+			}
+			t.OpenSpans[sp.Kind] = sp.Open
+		}
 		if sp.Count == 0 {
 			continue
 		}
 		t.Spans[sp.Kind] = SpanStats{
-			Count:  sp.Count,
-			P50us:  float64(sp.P50) / 1000,
-			P99us:  float64(sp.P99) / 1000,
-			P999us: float64(sp.P999) / 1000,
-			MaxUs:  float64(sp.Max) / 1000,
+			Count:    sp.Count,
+			P50us:    float64(sp.P50) / 1000,
+			P99us:    float64(sp.P99) / 1000,
+			P999us:   float64(sp.P999) / 1000,
+			MaxUs:    float64(sp.Max) / 1000,
+			Blame:    sp.Blame,
+			BlamePct: sp.BlamePct,
+		}
+		if len(sp.Stages) > 0 {
+			if t.Stages == nil {
+				t.Stages = make(map[string]map[string]StageStats)
+			}
+			cells := make(map[string]StageStats, len(sp.Stages))
+			for _, st := range sp.Stages {
+				cells[st.Name] = StageStats{
+					Count:    st.Count,
+					SharePct: st.Share,
+					TotalMs:  float64(st.Total) / 1e6,
+					P50us:    float64(st.P50) / 1000,
+					P99us:    float64(st.P99) / 1000,
+					P999us:   float64(st.P999) / 1000,
+					MaxUs:    float64(st.Max) / 1000,
+				}
+			}
+			t.Stages[sp.Kind] = cells
 		}
 	}
 	id, busy := sum.BusiestPCPU()

@@ -8,11 +8,19 @@
 //	microtrace -vms dedup,swaptions -mode static -cores 3 -raw 40
 //	microtrace export -vms gmake,swaptions -mode dynamic -o trace.json
 //	microtrace validate trace.json
+//	microtrace blame trace.json
+//	microtrace blame blame.json
+//
+// blame recomputes the causal latency-attribution table offline: given an
+// exported trace it rebuilds the table from the embedded cat="blame" events;
+// given a blame JSON document (paperbench -blame-out) it validates the schema
+// and renders the table.
 //
 // Exported files load directly in Perfetto (https://ui.perfetto.dev).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +32,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/hv"
 	"github.com/microslicedcore/microsliced/internal/ksym"
 	"github.com/microslicedcore/microsliced/internal/obs"
+	"github.com/microslicedcore/microsliced/internal/report"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/trace"
 	"github.com/microslicedcore/microsliced/internal/workload"
@@ -37,6 +46,9 @@ func main() {
 			return
 		case "validate":
 			validateMain(os.Args[2:])
+			return
+		case "blame":
+			blameMain(os.Args[2:])
 			return
 		}
 	}
@@ -247,4 +259,125 @@ func validateMain(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("%s: ok (%d events)\n", fs.Arg(0), n)
+}
+
+// blameMain rebuilds (or validates) a causal latency-attribution table
+// offline. It accepts either an exported Chrome trace (rows recomputed from
+// the embedded cat="blame" events) or a blame JSON document itself; both are
+// checked against the report.Blame schema contract before rendering.
+func blameMain(args []string) {
+	fs := flag.NewFlagSet("microtrace blame", flag.ExitOnError)
+	var (
+		scenario = fs.String("scenario", "trace", "scenario label for rows rebuilt from a trace")
+		out      = fs.String("o", "", "also write the table as JSON to this file")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: microtrace blame [-scenario name] [-o blame.json] <trace.json|blame.json>")
+		os.Exit(2)
+	}
+	buf, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b, err := blameFromFile(buf, *scenario)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
+		os.Exit(1)
+	}
+	if err := b.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: INVALID: %v\n", fs.Arg(0), err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		enc, err := json.MarshalIndent(b, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(enc, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	b.Render(os.Stdout)
+	fmt.Fprintf(os.Stderr, "%s: ok (%d span kinds)\n", fs.Arg(0), len(b.Rows))
+}
+
+// blameEvent is the shape of one embedded cat="blame" trace event.
+type blameEvent struct {
+	Ph   string `json:"ph"`
+	Cat  string `json:"cat"`
+	Name string `json:"name"`
+	Args struct {
+		Count    uint64  `json:"count"`
+		Open     int     `json:"open"`
+		TotalNs  int64   `json:"total_ns"`
+		P50Ns    int64   `json:"p50_ns"`
+		P99Ns    int64   `json:"p99_ns"`
+		P999Ns   int64   `json:"p999_ns"`
+		Blame    string  `json:"blame"`
+		BlamePct float64 `json:"blame_pct"`
+		Stages   []struct {
+			Name    string  `json:"name"`
+			TotalNs int64   `json:"total_ns"`
+			Share   float64 `json:"share_pct"`
+			P99Ns   int64   `json:"p99_ns"`
+		} `json:"stages"`
+	} `json:"args"`
+}
+
+// blameFromFile interprets buf as a blame document when it has rows, and as
+// an exported Chrome trace otherwise.
+func blameFromFile(buf []byte, scenario string) (*report.Blame, error) {
+	var probe struct {
+		Title       string            `json:"title"`
+		Rows        []report.BlameRow `json:"rows"`
+		Notes       []string          `json:"notes"`
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &probe); err != nil {
+		return nil, fmt.Errorf("JSON parse: %w", err)
+	}
+	if len(probe.Rows) > 0 {
+		return &report.Blame{Title: probe.Title, Rows: probe.Rows, Notes: probe.Notes}, nil
+	}
+	if len(probe.TraceEvents) == 0 {
+		return nil, fmt.Errorf("neither a blame document (no rows) nor a trace (no traceEvents)")
+	}
+	b := &report.Blame{
+		Title: "Causal latency attribution: " + scenario,
+		Notes: []string{"recomputed offline from embedded blame events"},
+	}
+	for _, raw := range probe.TraceEvents {
+		var ev blameEvent
+		if err := json.Unmarshal(raw, &ev); err != nil || ev.Ph != "X" || ev.Cat != "blame" {
+			continue
+		}
+		row := report.BlameRow{
+			Scenario:    scenario,
+			Kind:        ev.Name,
+			Count:       ev.Args.Count,
+			Open:        ev.Args.Open,
+			TotalMs:     float64(ev.Args.TotalNs) / 1e6,
+			P50us:       float64(ev.Args.P50Ns) / 1e3,
+			P99us:       float64(ev.Args.P99Ns) / 1e3,
+			P999us:      float64(ev.Args.P999Ns) / 1e3,
+			Dominant:    ev.Args.Blame,
+			DominantPct: ev.Args.BlamePct,
+		}
+		for _, st := range ev.Args.Stages {
+			row.Stages = append(row.Stages, report.BlameStage{
+				Name:    st.Name,
+				Pct:     st.Share,
+				TotalMs: float64(st.TotalNs) / 1e6,
+				P99us:   float64(st.P99Ns) / 1e3,
+			})
+		}
+		b.Rows = append(b.Rows, row)
+	}
+	if len(b.Rows) == 0 {
+		return nil, fmt.Errorf("trace has no blame events (exported without an observer summary?)")
+	}
+	return b, nil
 }

@@ -3,8 +3,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,21 +32,17 @@ func main() {
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		faults   = flag.Bool("faults", false, "also run the fault-injection sweep (shorthand for adding faultsweep to -run)")
 		recov    = flag.Bool("recovery", false, "also run the recovery sweep: harsh faults, supervisor on, MTTR percentiles (shorthand for adding recoverysweep to -run)")
-		verbose  = flag.Bool("v", false, "attach the observability layer and print one telemetry line per scenario")
+		verbose  = flag.Bool("v", false, "attach the observability layer and print one telemetry line per scenario, plus a per-kind dominant-stage blame line")
 		checked  = flag.Bool("check", false, "run the conformance conservation checks after every scenario (fails fast on a scheduler accounting violation)")
 		traceOut = flag.String("trace-out", "", "run one demo consolidation scenario, write its Chrome trace-event JSON (Perfetto-loadable) to this file, and exit")
+		blameOut = flag.String("blame-out", "", "run one demo consolidation scenario, write its causal blame table as JSON to this file, and exit")
+		baseFile = flag.String("baseline", "", "run the demo consolidation scenario and diff its span/stage percentiles against this stored baseline JSON (e.g. results/BENCH_pr8.json); exits non-zero past -baseline-threshold")
+		baseTol  = flag.Float64("baseline-threshold", 0.25, "max tolerated relative regression for -baseline (0.25 = 25%)")
 	)
 	flag.Parse()
 	experiment.SetParallelism(*par)
 	if *checked {
 		experiment.SetCheckHook(check.Conservation)
-	}
-	if *traceOut != "" {
-		if err := exportTrace(*traceOut, simtime.Duration(*secs*float64(simtime.Second))); err != nil {
-			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
-			os.Exit(1)
-		}
-		return
 	}
 	if *verbose {
 		experiment.SetDefaultObs(&obs.Config{})
@@ -63,7 +61,35 @@ func main() {
 			mb := float64(m.TotalAlloc-lastMem.TotalAlloc) / (1 << 20)
 			lastMem = m
 			fmt.Fprintf(os.Stderr, "%s | %d allocs/op %.1f MB/op\n", telemetryLine(s, r), allocs, mb)
+			for _, line := range blameLines(s, r) {
+				fmt.Fprintln(os.Stderr, line)
+			}
 		})
+	}
+	if *traceOut != "" {
+		if err := exportTrace(*traceOut, simtime.Duration(*secs*float64(simtime.Second))); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *blameOut != "" {
+		if err := writeBlame(*blameOut, simtime.Duration(*secs*float64(simtime.Second))); err != nil {
+			fmt.Fprintf(os.Stderr, "blame-out: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *baseFile != "" {
+		regressed, err := runBaseline(*baseFile, *baseTol)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
 	}
 	if *prof != "" {
 		f, err := os.Create(*prof)
@@ -210,15 +236,15 @@ func telemetryLine(s experiment.Setup, r *experiment.Result) string {
 	return b.String()
 }
 
-// exportTrace runs one fixed consolidation scenario — gmake and swaptions
-// at 2:1 under the dynamic mechanism — with the full-run trace ring enabled
-// and writes the timeline as Chrome trace-event JSON.
-func exportTrace(path string, dur simtime.Duration) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	s := experiment.Setup{
+// demoScenario labels the fixed consolidation demo shared by -trace-out,
+// -blame-out and -baseline.
+const demoScenario = "gmake+swaptions"
+
+// demoSetup is that demo: gmake and swaptions under the dynamic mechanism
+// with the observer attached. All three export modes read out the same run
+// so a trace, a blame table and a baseline diff describe the same timeline.
+func demoSetup(dur simtime.Duration) experiment.Setup {
+	return experiment.Setup{
 		VMs: []experiment.VMSpec{
 			{Name: "gmake", App: "gmake", Seed: 11},
 			{Name: "swaptions", App: "swaptions", Seed: 22},
@@ -227,8 +253,18 @@ func exportTrace(path string, dur simtime.Duration) error {
 		Duration:     dur,
 		StaggerStart: true,
 		Obs:          &obs.Config{},
-		TraceExport:  f,
 	}
+}
+
+// exportTrace runs the consolidation demo with the full-run trace ring
+// enabled and writes the timeline as Chrome trace-event JSON.
+func exportTrace(path string, dur simtime.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	s := demoSetup(dur)
+	s.TraceExport = f
 	res, err := experiment.Run(s)
 	if err != nil {
 		f.Close()
@@ -239,4 +275,199 @@ func exportTrace(path string, dur simtime.Duration) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%v simulated; load at https://ui.perfetto.dev)\n", path, res.Duration)
 	return nil
+}
+
+// blameLines renders one causal-attribution line per span kind that recorded
+// anything: the dominant stage, then the full breakdown (the shares sum to
+// exactly 100% by construction).
+func blameLines(s experiment.Setup, r *experiment.Result) []string {
+	if r.Telemetry == nil {
+		return nil
+	}
+	names := make([]string, len(s.VMs))
+	for i, vm := range s.VMs {
+		names[i] = vm.Name
+	}
+	label := strings.Join(names, "+")
+	var out []string
+	for i := range r.Telemetry.Spans {
+		sp := &r.Telemetry.Spans[i]
+		if sp.Count == 0 || sp.Blame == "" {
+			continue
+		}
+		parts := make([]string, 0, len(sp.Stages))
+		for _, st := range sp.Stages {
+			parts = append(parts, fmt.Sprintf("%s %.1f%%", st.Name, st.Share))
+		}
+		out = append(out, fmt.Sprintf("  blame [%s] %s: %s %.1f%% dominant (%s; p99=%v n=%d)",
+			label, sp.Kind, sp.Blame, sp.BlamePct, strings.Join(parts, " + "), sp.P99, sp.Count))
+	}
+	return out
+}
+
+// writeBlame runs the consolidation demo, validates the resulting causal
+// attribution table against the schema contract, writes it as JSON and
+// renders it as text.
+func writeBlame(path string, dur simtime.Duration) error {
+	res, err := experiment.Run(demoSetup(dur))
+	if err != nil {
+		return err
+	}
+	b := experiment.BlameFromSummary(demoScenario, res.Telemetry)
+	b.Notes = append(b.Notes, fmt.Sprintf("demo consolidation scenario, %v simulated", res.Duration))
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	b.Render(os.Stdout)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+// baselineStage is one stage's pinned numbers in a stored baseline.
+type baselineStage struct {
+	SharePct float64 `json:"share_pct"`
+	P99us    float64 `json:"p99_us"`
+}
+
+// baselineSpan is one span kind's pinned numbers in a stored baseline.
+type baselineSpan struct {
+	Count    uint64                   `json:"count"`
+	P50us    float64                  `json:"p50_us"`
+	P99us    float64                  `json:"p99_us"`
+	P999us   float64                  `json:"p999_us"`
+	Dominant string                   `json:"dominant,omitempty"`
+	Stages   map[string]baselineStage `json:"stages,omitempty"`
+}
+
+// baselineDoc is the slice of a results/BENCH_*.json file the -baseline gate
+// reads: the demo scenario's pinned duration and per-kind span/stage
+// percentiles. Runs are deterministic in simulated time, so the stored
+// numbers are machine-independent and an unchanged tree diffs to exactly 0%.
+type baselineDoc struct {
+	PR        int `json:"pr"`
+	DemoSpans struct {
+		Scenario string                  `json:"scenario"`
+		Seconds  float64                 `json:"seconds"`
+		Spans    map[string]baselineSpan `json:"spans"`
+	} `json:"demo_spans"`
+}
+
+// runBaseline re-runs the consolidation demo at the baseline's pinned
+// duration and diffs every span percentile and stage share against the
+// stored numbers. It reports regressed=true when any latency grew by more
+// than tol (relative) or any stage share drifted by more than tol×100
+// percentage points; improvements never gate.
+func runBaseline(path string, tol float64) (regressed bool, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return false, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.DemoSpans.Spans) == 0 {
+		return false, fmt.Errorf("%s: no demo_spans section (not a span baseline?)", path)
+	}
+	secs := doc.DemoSpans.Seconds
+	if secs <= 0 {
+		return false, fmt.Errorf("%s: demo_spans.seconds missing", path)
+	}
+	res, err := experiment.Run(demoSetup(simtime.Duration(secs * float64(simtime.Second))))
+	if err != nil {
+		return false, err
+	}
+	if res.Telemetry == nil {
+		return false, fmt.Errorf("demo run produced no telemetry")
+	}
+	cur := map[string]*obs.SpanStat{}
+	for i := range res.Telemetry.Spans {
+		sp := &res.Telemetry.Spans[i]
+		if sp.Count > 0 {
+			cur[sp.Kind] = sp
+		}
+	}
+
+	var fails []string
+	fmt.Printf("baseline gate: %s (pr %d, %.3gs demo) vs current, threshold %.0f%%\n",
+		path, doc.PR, secs, tol*100)
+	gate := func(name string, base, now float64) {
+		grew := relIncrease(base, now)
+		mark := ""
+		if grew > tol {
+			mark = "  <-- REGRESSION"
+			fails = append(fails, fmt.Sprintf("%s grew %.1f%% (%.3f -> %.3f us)", name, grew*100, base, now))
+		}
+		fmt.Printf("  %-44s %10.3f -> %10.3f us (%+.1f%%)%s\n", name, base, now, grew*100, mark)
+	}
+	kinds := make([]string, 0, len(doc.DemoSpans.Spans))
+	for k := range doc.DemoSpans.Spans {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		base := doc.DemoSpans.Spans[kind]
+		sp := cur[kind]
+		if sp == nil {
+			fails = append(fails, fmt.Sprintf("%s: recorded in baseline (n=%d) but absent now", kind, base.Count))
+			fmt.Printf("  %-44s ABSENT (baseline n=%d)  <-- REGRESSION\n", kind, base.Count)
+			continue
+		}
+		gate(kind+" p50", base.P50us, float64(sp.P50)/1e3)
+		gate(kind+" p99", base.P99us, float64(sp.P99)/1e3)
+		gate(kind+" p999", base.P999us, float64(sp.P999)/1e3)
+		if base.Dominant != "" && sp.Blame != base.Dominant {
+			fmt.Printf("  %-44s dominant stage %s -> %s (informational)\n", kind, base.Dominant, sp.Blame)
+		}
+		curStage := map[string]obs.StageStat{}
+		for _, st := range sp.Stages {
+			curStage[st.Name] = st
+		}
+		stages := make([]string, 0, len(base.Stages))
+		for s := range base.Stages {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, name := range stages {
+			bs := base.Stages[name]
+			cs := curStage[name]
+			gate(kind+"/"+name+" p99", bs.P99us, float64(cs.P99)/1e3)
+			drift := math.Abs(cs.Share - bs.SharePct)
+			mark := ""
+			if drift > tol*100 {
+				mark = "  <-- REGRESSION"
+				fails = append(fails, fmt.Sprintf("%s/%s share drifted %.1f points (%.1f%% -> %.1f%%)",
+					kind, name, drift, bs.SharePct, cs.Share))
+			}
+			fmt.Printf("  %-44s %9.1f%% -> %9.1f%% share%s\n", kind+"/"+name, bs.SharePct, cs.Share, mark)
+		}
+	}
+	if len(fails) > 0 {
+		fmt.Printf("baseline gate: FAIL (%d regressions past %.0f%%)\n", len(fails), tol*100)
+		for _, f := range fails {
+			fmt.Printf("  - %s\n", f)
+		}
+		return true, nil
+	}
+	fmt.Println("baseline gate: OK")
+	return false, nil
+}
+
+// relIncrease is (now-base)/base, treating a growth from zero as infinite
+// and anything shrinking to or below zero as no increase.
+func relIncrease(base, now float64) float64 {
+	if now <= base {
+		return 0
+	}
+	if base <= 0 {
+		return math.Inf(1)
+	}
+	return (now - base) / base
 }

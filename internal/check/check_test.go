@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"github.com/microslicedcore/microsliced/internal/experiment"
+	"github.com/microslicedcore/microsliced/internal/obs"
+	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
 // envInt reads an integer environment override (the CI long-run job scales
@@ -89,6 +91,35 @@ func TestInjectedBugCaughtAndShrunk(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "yield.total") {
 		t.Fatalf("diff does not name the corrupted counter: %v", err)
+	}
+	fails := func(s Scenario) bool { return c.Check(s) != nil }
+	shrunk := Shrink(sc, fails, 80)
+	if len(shrunk.VMs) > 2 {
+		t.Fatalf("shrunk repro still has %d domains, want <= 2", len(shrunk.VMs))
+	}
+	if !fails(shrunk) {
+		t.Fatal("shrunk scenario no longer reproduces the failure")
+	}
+}
+
+// TestInjectedStageSkewCaughtAndShrunk proves the stage conservation law has
+// teeth: a PostCheck that deliberately mis-attributes one microsecond of
+// wake_dispatch time to a stage — without touching the span ledger — must be
+// caught by the Σ stages == span total law and shrunk like any other bug.
+func TestInjectedStageSkewCaughtAndShrunk(t *testing.T) {
+	c := &Checker{post: func(pr *experiment.PostRun) error {
+		if pr.Obs != nil {
+			pr.Obs.SkewStageLedger(obs.SpanWakeDispatch, obs.WakeStageRunq, simtime.Microsecond)
+		}
+		return Conservation(pr)
+	}}
+	sc := Generate(1)
+	err := c.Check(sc)
+	if err == nil {
+		t.Fatal("injected stage mis-attribution was not caught")
+	}
+	if !strings.Contains(err.Error(), "stage ledger") || !strings.Contains(err.Error(), "wake_dispatch") {
+		t.Fatalf("error does not name the skewed stage ledger: %v", err)
 	}
 	fails := func(s Scenario) bool { return c.Check(s) != nil }
 	shrunk := Shrink(sc, fails, 80)

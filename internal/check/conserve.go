@@ -6,6 +6,7 @@ import (
 
 	"github.com/microslicedcore/microsliced/internal/experiment"
 	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
@@ -157,6 +158,33 @@ func conservation(pr *experiment.PostRun, violationsAfter simtime.Time) error {
 		open := uint64(o.OpenSpanCount())
 		if begun != closed+cancelled+open {
 			fail("span ledger: begun %d != closed %d + cancelled %d + open %d", begun, closed, cancelled, open)
+		}
+		// Stage conservation: every closed span's stage decomposition sums
+		// exactly to its duration, so the per-kind exact ledgers must agree
+		// — a mis-attributed stage (stale timestamp, recycled ref, skipped
+		// hook) shows up as a kind whose stages don't add up.
+		openByKind := o.OpenSpansByKind()
+		openSum := 0
+		for i, kind := range obs.SpanKinds() {
+			k := obs.SpanKind(i)
+			total, stages := o.SpanLedger(k)
+			var stageSum int64
+			for si, s := range stages {
+				if s < 0 {
+					fail("stage ledger: %s/%s total %d negative", kind, obs.StageNames(k)[si], s)
+				}
+				stageSum += s
+			}
+			if stageSum != total {
+				fail("stage ledger: %s Σ stages %d != span total %d", kind, stageSum, total)
+			}
+			if openByKind[i] < 0 {
+				fail("open spans: %s count %d negative", kind, openByKind[i])
+			}
+			openSum += openByKind[i]
+		}
+		if openSum != int(open) {
+			fail("open spans: Σ per-kind %d != open count %d", openSum, open)
 		}
 	}
 

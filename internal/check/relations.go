@@ -17,6 +17,10 @@ type Checker struct {
 	// comparison — the fault-injection port tests use to prove a real
 	// accounting bug cannot slip through the harness.
 	mutate func(*experiment.Result)
+	// post, when non-nil, replaces Conservation as every run's PostCheck.
+	// The stage-skew injection test wraps Conservation with a deliberate
+	// observer corruption to prove the stage conservation law has teeth.
+	post func(*experiment.PostRun) error
 }
 
 // relation is one must-not-matter perturbation of a base scenario.
@@ -61,8 +65,12 @@ var relations = []relation{
 // relation with a counter-level diff. Conservation runs inside every one of
 // the runs via the PostCheck hook.
 func (c *Checker) Check(sc Scenario) error {
+	post := c.post
+	if post == nil {
+		post = Conservation
+	}
 	base := sc.ToSetup()
-	base.PostCheck = Conservation
+	base.PostCheck = post
 	baseRes, err := experiment.Run(base)
 	if err != nil {
 		return fmt.Errorf("base run: %w", err)
@@ -78,7 +86,7 @@ func (c *Checker) Check(sc Scenario) error {
 			continue
 		}
 		s := sc.ToSetup()
-		s.PostCheck = Conservation
+		s.PostCheck = post
 		rel.perturb(&s)
 		variants = append(variants, s)
 		applied = append(applied, rel.name)

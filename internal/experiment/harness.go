@@ -384,7 +384,13 @@ func Run(s Setup) (res *Result, err error) {
 		for i, k := range kernels {
 			names[int16(k.Dom.ID)] = s.VMs[i].Name
 		}
-		if err := obs.WriteChromeTrace(s.TraceExport, h.Trace.Records(), obs.ExportMeta{DomainNames: names}); err != nil {
+		meta := obs.ExportMeta{DomainNames: names}
+		if res.Telemetry != nil {
+			// Embed the span/stage aggregates so microtrace blame can
+			// recompute the attribution table offline from the trace alone.
+			meta.Spans = res.Telemetry.Spans
+		}
+		if err := obs.WriteChromeTrace(s.TraceExport, h.Trace.Records(), meta); err != nil {
 			return nil, fmt.Errorf("experiment: trace export: %v", err)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/microslicedcore/microsliced/internal/hv"
+	"github.com/microslicedcore/microsliced/internal/obs"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 )
 
@@ -295,6 +296,11 @@ func (v *VCPU) irqStageDone() {
 				}
 				continue // no listener; drop
 			}
+			if o := v.k.HV.Obs; o != nil {
+				// hardirq + softirq processing ends here; what follows is
+				// socket-buffer wait until the application consumes.
+				o.Stage(p.Span, obs.NetStageSoftirq, v.now())
+			}
 			if w := sock.deliver(p); w != nil {
 				v.k.wakeThreadFrom(v, w)
 			}
@@ -421,6 +427,12 @@ func (v *VCPU) advance() {
 			v.setRIP(UserSpinRIP)
 		} else {
 			v.setRIP(v.k.addr.spinSlow)
+		}
+		if o := v.k.HV.Obs; o != nil {
+			// A spin window is (re)starting: everything since the last mark
+			// — the PLE yield and the descheduled gap — was waiter
+			// preemption, not spinning.
+			o.Stage(t.lockSpan, obs.LockStagePreempt, v.now())
 		}
 		v.armEv(v.k.Params.PLEWindow, v.pleFireFn)
 	case phaseGranted:
@@ -637,6 +649,12 @@ func (v *VCPU) opDone() {
 
 // pleFire is the pause-loop-exit path: the spinner burnt a full PLE window.
 func (v *VCPU) pleFire() {
+	if o := v.k.HV.Obs; o != nil {
+		if t := v.cur; t != nil {
+			// The full PLE window just burnt is pure spin time.
+			o.Stage(t.lockSpan, obs.LockStageSpin, v.now())
+		}
+	}
 	v.Yields++
 	v.k.HV.Yield(v.hvv, hv.YieldPLE)
 }

@@ -131,9 +131,19 @@ func (l *SpinLock) release(t *Thread, now simtime.Time) {
 	w.granted(now)
 }
 
-// endAcquireSpan closes w's lock_acquire span at the grant.
+// endAcquireSpan closes w's lock_acquire span at the grant, attributing the
+// final wait segment by how the waiter spent it: parked on a sleeping lock,
+// spinning live on a pCPU, or descheduled (lock-waiter preemption).
 func (l *SpinLock) endAcquireSpan(w *Thread, now simtime.Time) {
 	if o := l.k.HV.Obs; o != nil {
+		stage := obs.LockStagePreempt
+		switch {
+		case l.sleeping:
+			stage = obs.LockStageSleep
+		case w.vc.running && w.vc.irq == nil:
+			stage = obs.LockStageSpin
+		}
+		o.Stage(w.lockSpan, stage, now)
 		o.End(w.lockSpan, now)
 		w.lockSpan = 0
 	}

@@ -74,6 +74,11 @@ func (h *Hypervisor) sendVIPIFaulty(dst *VCPU, vec Vector, data uint64, attempt,
 	if drop && attempt < h.Cfg.IPIRetryLimit {
 		h.hot.vipiDropped.Inc()
 		h.Clock.AfterLabeled(h.Cfg.IPIRetryDelay, "ipi-retry", func() {
+			// The backoff the dropped attempt cost is retry time, not send
+			// time: attribute it before the next attempt begins.
+			if h.Obs != nil {
+				h.Obs.Stage(span, obs.IPIStageRetry, h.Clock.Now())
+			}
 			h.sendVIPIFaulty(dst, vec, data, attempt+1, redrives, span)
 		})
 		return
@@ -121,6 +126,10 @@ func (h *Hypervisor) RedriveLostIPI(seq uint64) bool {
 		e := h.lostIPIs[i]
 		n := copy(h.lostIPIs[i:], h.lostIPIs[i+1:])
 		h.lostIPIs = h.lostIPIs[:i+n]
+		// Ledger dwell time (loss to redrive) is retry/backoff time.
+		if h.Obs != nil {
+			h.Obs.Stage(e.span, obs.IPIStageRetry, h.Clock.Now())
+		}
 		if h.Hooks.IPIFault != nil {
 			h.sendVIPIFaulty(e.Dst, e.Vec, e.Data, 0, e.Redrives+1, e.span)
 		} else {
@@ -174,6 +183,11 @@ func (h *Hypervisor) InjectPIRQTo(target *VCPU, vec Vector, data uint64) {
 
 // deliver routes an interrupt to dst according to its scheduling state.
 func (h *Hypervisor) deliver(dst *VCPU, vec Vector, data uint64, span obs.SpanRef) {
+	// Everything between the send (or the last retry) and the delivery
+	// decision — emulation cost, wire delay — is sender-side time.
+	if h.Obs != nil {
+		h.Obs.Stage(span, obs.IPIStageSend, h.Clock.Now())
+	}
 	switch dst.state {
 	case StateRunning:
 		h.Clock.AfterLabeled(h.Cfg.IPILatency, "inject", func() {
@@ -194,6 +208,12 @@ func (h *Hypervisor) deliver(dst *VCPU, vec Vector, data uint64, span obs.SpanRe
 // active, otherwise queues (the state may have changed during the
 // injection latency).
 func (h *Hypervisor) injectOrQueue(dst *VCPU, vec Vector, data uint64, span obs.SpanRef) {
+	// The injection latency just elapsed, whether or not the target is
+	// still running; the End remainder would otherwise misattribute it as
+	// pending-queue time.
+	if h.Obs != nil {
+		h.Obs.Stage(span, obs.IPIStageInject, h.Clock.Now())
+	}
 	if dst.state == StateRunning && dst.warmupEv == nil {
 		if h.Obs != nil {
 			h.Obs.End(span, h.Clock.Now())

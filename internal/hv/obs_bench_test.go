@@ -60,6 +60,10 @@ func BenchmarkWakeBlockCycleObs(b *testing.B) { benchmarkWakeBlock(b, obs.New(ob
 
 // TestObsWakeBlockAllocFree proves observation adds zero allocations to the
 // steady-state wake/block cycle — with the observer disabled AND enabled.
+// The enabled run now includes causal stage attribution: every wake drives a
+// wake_dispatch span whose wait is credited to a stage inside Transition, so
+// a pass here is the zero-alloc proof for stage recording on the
+// wake→dispatch path.
 // The baseline cycle's own allocations (event closures in the engine) are
 // measured with a nil observer and used as the reference: instrumentation
 // must never add GC pressure on top, because GC pauses would perturb

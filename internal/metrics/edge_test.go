@@ -104,9 +104,67 @@ func TestHistogramEdgeSingleSample(t *testing.T) {
 	h.Observe(1000)
 	for _, q := range []float64{0, 0.5, 0.999, 1} {
 		got := h.Quantile(q)
-		// One sample: every quantile lands in its bucket (≤12.5% low).
-		if got < 896 || got > 1000 {
-			t.Fatalf("Quantile(%v)=%d, want the 1000-sample bucket", q, got)
+		// One sample: the bucket lower bound is clamped to the observed
+		// min/max, so every quantile IS the sample.
+		if got != 1000 {
+			t.Fatalf("Quantile(%v)=%d, want exactly 1000 (the only sample)", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileBoundaryClamp pins the exact-boundary contract:
+// quantiles are bucket lower bounds clamped into [Min, Max], so degenerate
+// histograms (one sample, all-equal samples, two extremes) report observed
+// values instead of under-shooting to a bucket edge.
+func TestHistogramQuantileBoundaryClamp(t *testing.T) {
+	quantiles := []float64{0, 0.25, 0.5, 0.75, 0.99, 0.999, 1}
+
+	// A single sample: p50 (and every other quantile) == that sample,
+	// across octave boundaries, mid-bucket values and the extremes.
+	singles := []int64{1, 2, 3, 7, 8, 9, 1000, 4095, 4096, 4097,
+		1<<20 + 123, 1 << 40, math.MaxInt64}
+	for _, v := range singles {
+		h := NewHistogram(8)
+		h.Observe(v)
+		for _, q := range quantiles {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("single sample %d: Quantile(%v)=%d, want the sample", v, q, got)
+			}
+		}
+	}
+
+	// All-equal samples behave identically to one sample.
+	for _, v := range []int64{5, 4096, 1<<30 + 1} {
+		h := NewHistogram(8)
+		for i := 0; i < 500; i++ {
+			h.Observe(v)
+		}
+		for _, q := range quantiles {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("500× %d: Quantile(%v)=%d, want the sample", v, q, got)
+			}
+		}
+	}
+
+	// Two samples: the extreme quantiles are exactly the observed extremes
+	// and everything in between stays inside [lo, hi].
+	two := []struct{ lo, hi int64 }{
+		{1, 2}, {1, 1000000}, {4095, 4097}, {1000, 1000},
+	}
+	for _, c := range two {
+		h := NewHistogram(8)
+		h.Observe(c.lo)
+		h.Observe(c.hi)
+		if got := h.Quantile(0); got != c.lo {
+			t.Errorf("{%d,%d}: Quantile(0)=%d, want min", c.lo, c.hi, got)
+		}
+		if got := h.Quantile(1); got != c.hi {
+			t.Errorf("{%d,%d}: Quantile(1)=%d, want max", c.lo, c.hi, got)
+		}
+		for _, q := range quantiles {
+			if got := h.Quantile(q); got < c.lo || got > c.hi {
+				t.Errorf("{%d,%d}: Quantile(%v)=%d outside observed range", c.lo, c.hi, q, got)
+			}
 		}
 	}
 }

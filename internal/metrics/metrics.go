@@ -224,27 +224,44 @@ func clampToInt64(v float64) int64 {
 }
 
 // Quantile returns an approximation of the q-quantile (q in [0,1]).
-// It returns 0 for an empty histogram.
+// It returns 0 for an empty histogram. The result is clamped into
+// [Min(), Max()]: bucket lower bounds systematically under-report at exact
+// bucket boundaries (a single-sample histogram's p50 would come out below
+// the sample), and no sample outside the observed range can be a quantile.
 func (h *Histogram) Quantile(q float64) int64 {
 	n := h.summary.Count()
 	if n == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	// The extreme quantiles are tracked exactly; skip the bucket walk so
+	// they never under- or over-shoot to a bucket boundary.
+	if q <= 0 {
+		return h.Min()
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.Max()
 	}
 	rank := uint64(q * float64(n-1))
 	var cum uint64
 	for i, c := range h.buckets {
 		cum += c
 		if cum > rank {
-			return h.bucketLower(i)
+			return h.clampToObserved(h.bucketLower(i))
 		}
 	}
 	return h.Max()
+}
+
+// clampToObserved bounds a bucket-derived estimate by the exact observed
+// range tracked in the inner summary.
+func (h *Histogram) clampToObserved(v int64) int64 {
+	if min := h.Min(); v < min {
+		return min
+	}
+	if max := h.Max(); v > max {
+		return max
+	}
+	return v
 }
 
 // Merge adds every bucket of other into h. Both histograms must have the

@@ -15,7 +15,17 @@ import (
 type ExportMeta struct {
 	// DomainNames maps a domain ID to its display name.
 	DomainNames map[int16]string
+	// Spans, when non-nil, embeds the run's span/stage aggregates (one
+	// SpanStat per kind, as produced by Observer.Summary) as "X" events on
+	// a synthetic "latency" process (pid=-2): one slice per recorded kind,
+	// its stage decomposition in args. microtrace blame recomputes the
+	// attribution table offline from these events.
+	Spans []SpanStat
 }
+
+// blamePID is the synthetic trace-event process carrying span/stage
+// aggregates (pid=-1 is the host row).
+const blamePID = -2
 
 // chromeHeader/chromeFooter frame the trace-event JSON object. Perfetto and
 // chrome://tracing both load this shape directly.
@@ -129,6 +139,7 @@ func WriteChromeTrace(w io.Writer, recs []trace.Record, meta ExportMeta) error {
 	if e.err != nil {
 		return e.err
 	}
+	e.spanAggregates(meta.Spans)
 	if len(seenDom) > 0 || e.n > 0 {
 		e.emitf(`{"ph":"M","pid":-1,"name":"process_name","args":{"name":"host"}}`)
 	}
@@ -165,6 +176,35 @@ func (e *chromeEmitter) emitf(format string, args ...any) {
 func (e *chromeEmitter) complete(dom, vcpu int16, o openRun, end simtime.Time) {
 	e.emitf(`{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":"run p%d","cat":"sched","args":{"pcpu":%d,"prio":%d}}`,
 		dom, vcpu, usec(o.start), usec(end-o.start), o.pcpu, o.pcpu, o.prio)
+}
+
+// spanAggregates emits one "X" slice per recorded span kind on the
+// synthetic latency-attribution process: ts=0, dur=the kind's p99, and the
+// full causal read-out (count, quantiles, per-stage totals and shares) in
+// args, keyed by cat="blame" so offline consumers can find them.
+func (e *chromeEmitter) spanAggregates(spans []SpanStat) {
+	emitted := false
+	for i := range spans {
+		sp := &spans[i]
+		if sp.Count == 0 {
+			continue
+		}
+		stages, err := json.Marshal(sp.Stages)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.emitf(`{"ph":"X","pid":%d,"tid":%d,"ts":0,"dur":%s,"name":%s,"cat":"blame","args":{"count":%d,"open":%d,"total_ns":%d,"p50_ns":%d,"p99_ns":%d,"p999_ns":%d,"blame":%s,"blame_pct":%g,"stages":%s}}`,
+			blamePID, i, usec(simtime.Time(sp.P99)), jsonString(sp.Kind),
+			sp.Count, sp.Open, int64(sp.Total), int64(sp.P50), int64(sp.P99), int64(sp.P999),
+			jsonString(sp.Blame), sp.BlamePct, stages)
+		e.emitf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			blamePID, i, jsonString(sp.Kind))
+		emitted = true
+	}
+	if emitted {
+		e.emitf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"latency attribution"}}`, blamePID)
+	}
 }
 
 func (e *chromeEmitter) instant(r trace.Record, suffix string) {

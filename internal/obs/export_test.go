@@ -116,3 +116,67 @@ func TestValidateChromeTraceRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteChromeTraceBlameEvents: span aggregates embed as one cat="blame"
+// complete event per recorded kind on the synthetic pid=-2 process, carrying
+// the full stage decomposition, and the result still validates.
+func TestWriteChromeTraceBlameEvents(t *testing.T) {
+	var buf bytes.Buffer
+	meta := ExportMeta{
+		DomainNames: map[int16]string{0: "gmake"},
+		Spans: []SpanStat{
+			{Kind: "wake_dispatch", Count: 10, Total: 100 * simtime.Microsecond,
+				P50: 5 * simtime.Microsecond, P99: 20 * simtime.Microsecond,
+				Blame: "runq_wait", BlamePct: 80,
+				Stages: []StageStat{
+					{Name: "boost_wait", Share: 20, Total: 20 * simtime.Microsecond},
+					{Name: "runq_wait", Share: 80, Total: 80 * simtime.Microsecond},
+				}},
+			{Kind: "disk_io"}, // zero count: must be skipped
+		},
+	}
+	if err := WriteChromeTrace(&buf, sampleRecords(), meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("trace with blame events does not validate: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Cat  string `json:"cat"`
+			Pid  int    `json:"pid"`
+			Name string `json:"name"`
+			Args struct {
+				Count  uint64 `json:"count"`
+				Blame  string `json:"blame"`
+				Stages []struct {
+					Name  string  `json:"name"`
+					Share float64 `json:"share_pct"`
+				} `json:"stages"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var blames int
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat != "blame" {
+			continue
+		}
+		blames++
+		if ev.Ph != "X" || ev.Pid != blamePID {
+			t.Errorf("blame event ph=%s pid=%d, want X on pid=%d", ev.Ph, ev.Pid, blamePID)
+		}
+		if ev.Name != "wake_dispatch" || ev.Args.Blame != "runq_wait" || ev.Args.Count != 10 {
+			t.Errorf("blame event payload = %+v", ev.Args)
+		}
+		if len(ev.Args.Stages) != 2 || ev.Args.Stages[1].Share != 80 {
+			t.Errorf("blame event stages = %+v, want the 2-stage breakdown", ev.Args.Stages)
+		}
+	}
+	if blames != 1 {
+		t.Errorf("blame events = %d, want 1 (zero-count kinds skipped)", blames)
+	}
+}

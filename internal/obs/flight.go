@@ -36,8 +36,11 @@ type FlightDump struct {
 	VCPUs     []VCPUResidency `json:"vcpus"`
 	PCPUs     []PCPUResidency `json:"pcpus"`
 	OpenSpans []OpenSpan      `json:"open_spans,omitempty"`
-	Trace     []FlightRecord  `json:"trace,omitempty"`
-	Repairs   []RepairRecord  `json:"repairs,omitempty"`
+	// OpenByKind attributes the open spans to their kinds (kinds with none
+	// open are omitted), so a dump names what leaked at a glance.
+	OpenByKind map[string]int `json:"open_by_kind,omitempty"`
+	Trace      []FlightRecord `json:"trace,omitempty"`
+	Repairs    []RepairRecord `json:"repairs,omitempty"`
 
 	// File is where the dump was written (empty for in-memory dumps).
 	File string `json:"-"`
@@ -65,6 +68,14 @@ func (o *Observer) Flight(now simtime.Time, reason, detail string, tail []trace.
 		VCPUs:     o.ResidencySnapshot(now),
 		PCPUs:     o.PCPUSnapshot(),
 		OpenSpans: o.OpenSpans(),
+	}
+	for i, n := range o.OpenSpansByKind() {
+		if n > 0 {
+			if d.OpenByKind == nil {
+				d.OpenByKind = make(map[string]int)
+			}
+			d.OpenByKind[SpanKind(i).String()] = n
+		}
 	}
 	if o.repairTail != nil {
 		d.Repairs = o.repairTail()

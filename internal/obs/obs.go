@@ -125,6 +125,13 @@ type Observer struct {
 	spans spanTable
 	hists [numSpanKinds]*metrics.Histogram
 
+	// Causal attribution state: per-(kind,stage) latency histograms plus
+	// exact int64 ledgers backing the stage conservation law
+	// Σ stageTotal[k] == spanTotal[k] (see stage.go).
+	stageHists [numSpanKinds][]*metrics.Histogram
+	spanTotal  [numSpanKinds]int64
+	stageTotal [numSpanKinds][maxStages]int64
+
 	flights   []FlightDump
 	flightSeq int
 	flightErr error
@@ -139,6 +146,10 @@ func New(cfg Config) *Observer {
 	o := &Observer{cfg: cfg.withDefaults()}
 	for k := range o.hists {
 		o.hists[k] = metrics.NewHistogram(o.cfg.SpanSubBuckets)
+		o.stageHists[k] = make([]*metrics.Histogram, len(spanStageNames[k]))
+		for i := range o.stageHists[k] {
+			o.stageHists[k][i] = metrics.NewHistogram(o.cfg.SpanSubBuckets)
+		}
 	}
 	return o
 }
@@ -165,8 +176,10 @@ func (o *Observer) EnsureVCPU(id int, dom, idx int16) {
 }
 
 // Transition moves vCPU id into st at virtual time now, crediting the time
-// since the previous transition to the previous (pool, state) cell.
-// Allocation-free.
+// since the previous transition to the previous (pool, state) cell. While a
+// wake→dispatch span is open, the same segment is credited to the wake
+// stage the old (pool, state) maps to, so the dispatch that closes the span
+// finds the whole wait already attributed. Allocation-free.
 func (o *Observer) Transition(id int, st State, now simtime.Time) {
 	if id >= len(o.vcpus) {
 		return
@@ -177,6 +190,9 @@ func (o *Observer) Transition(id int, st State, now simtime.Time) {
 		pool = poolMicro
 	}
 	a.res[pool][a.state] += now - a.since
+	if a.wake != 0 {
+		o.Stage(a.wake, wakeStageFor(a.micro, a.state), now)
+	}
 	a.state = st
 	a.since = now
 }
@@ -194,6 +210,11 @@ func (o *Observer) SetMicro(id int, micro bool, now simtime.Time) {
 		pool = poolMicro
 	}
 	a.res[pool][a.state] += now - a.since
+	if a.wake != 0 {
+		// Attribute the wait so far to the pool the vCPU is leaving; the
+		// remainder of the wait accrues to the new pool's wake stage.
+		o.Stage(a.wake, wakeStageFor(a.micro, a.state), now)
+	}
 	a.since = now
 	a.micro = micro
 }
@@ -336,7 +357,24 @@ func (o *Observer) PCPUSnapshot() []PCPUResidency {
 	return out
 }
 
-// SpanStat summarises one span kind's closed-span latency distribution.
+// StageStat summarises one stage of a span kind: the exact share of the
+// kind's total closed-span time it consumed, plus the distribution of its
+// per-span accumulation over spans where it was nonzero.
+type StageStat struct {
+	Name  string           `json:"name"`
+	Count uint64           `json:"count"`    // spans with nonzero time in this stage
+	Total simtime.Duration `json:"total_ns"` // exact Σ over all closed spans
+	// Share is Total as a percentage of the span kind's Total, rounded by
+	// largest remainder to 0.1% so a kind's shares sum to exactly 100.0.
+	Share float64          `json:"share_pct"`
+	P50   simtime.Duration `json:"p50_ns"`
+	P99   simtime.Duration `json:"p99_ns"`
+	P999  simtime.Duration `json:"p999_ns"`
+	Max   simtime.Duration `json:"max_ns"`
+}
+
+// SpanStat summarises one span kind's closed-span latency distribution and
+// its causal decomposition into stages.
 type SpanStat struct {
 	Kind  string           `json:"kind"`
 	Count uint64           `json:"count"`
@@ -344,6 +382,19 @@ type SpanStat struct {
 	P99   simtime.Duration `json:"p99_ns"`
 	P999  simtime.Duration `json:"p999_ns"`
 	Max   simtime.Duration `json:"max_ns"`
+	// Total is the exact summed duration of every closed span (the ledger
+	// the stage conservation law is checked against).
+	Total simtime.Duration `json:"total_ns,omitempty"`
+	// Open counts this kind's spans still open at summary time, so a leak
+	// is attributable to its kind.
+	Open int `json:"open,omitempty"`
+	// Stages decomposes Total in attribution order; Σ Stages[i].Total ==
+	// Total exactly. Empty when the kind recorded nothing.
+	Stages []StageStat `json:"stages,omitempty"`
+	// Blame names the dominant stage (largest Total; ties to the earliest)
+	// and BlamePct its share — the kind's one-line causal verdict.
+	Blame    string  `json:"blame,omitempty"`
+	BlamePct float64 `json:"blame_pct,omitempty"`
 }
 
 // Summary is the end-of-run telemetry read-out.
@@ -396,14 +447,44 @@ func (o *Observer) Summary(now simtime.Time) *Summary {
 	}
 	for k := SpanKind(0); k < numSpanKinds; k++ {
 		h := o.hists[k]
-		s.Spans = append(s.Spans, SpanStat{
+		st := SpanStat{
 			Kind:  k.String(),
 			Count: h.Count(),
 			P50:   simtime.Duration(h.Quantile(0.5)),
 			P99:   simtime.Duration(h.Quantile(0.99)),
 			P999:  simtime.Duration(h.Quantile(0.999)),
 			Max:   simtime.Duration(h.Max()),
-		})
+			Total: simtime.Duration(o.spanTotal[k]),
+			Open:  o.spans.openByKind[k],
+		}
+		if st.Count > 0 {
+			total, stages := o.SpanLedger(k)
+			shares := sharesPct(stages)
+			for i, name := range spanStageNames[k] {
+				sh := o.stageHists[k][i]
+				st.Stages = append(st.Stages, StageStat{
+					Name:  name,
+					Count: sh.Count(),
+					Total: simtime.Duration(stages[i]),
+					Share: shares[i],
+					P50:   simtime.Duration(sh.Quantile(0.5)),
+					P99:   simtime.Duration(sh.Quantile(0.99)),
+					P999:  simtime.Duration(sh.Quantile(0.999)),
+					Max:   simtime.Duration(sh.Max()),
+				})
+			}
+			blame := 0
+			for i := range stages {
+				if stages[i] > stages[blame] {
+					blame = i
+				}
+			}
+			if total > 0 {
+				st.Blame = spanStageNames[k][blame]
+				st.BlamePct = shares[blame]
+			}
+		}
+		s.Spans = append(s.Spans, st)
 	}
 	return s
 }

@@ -181,8 +181,10 @@ func TestWakeSpanCoalescing(t *testing.T) {
 	}
 }
 
-// TestHotPathAllocFree proves the per-event accounting surface is
-// allocation-free at steady state (after the span table has grown once).
+// TestHotPathAllocFree proves the per-event accounting surface — including
+// stage attribution (explicit Stage marks plus the wake-stage crediting
+// inside Transition/SetMicro) — is allocation-free at steady state (after
+// the span table has grown once).
 func TestHotPathAllocFree(t *testing.T) {
 	o := New(Config{})
 	o.EnsurePCPUs(4)
@@ -207,6 +209,7 @@ func TestHotPathAllocFree(t *testing.T) {
 		o.PCPUDispatched(2, false)
 		o.PCPURan(2, us)
 		s := o.Begin(SpanLockAcquire, 0, 3, 0, now)
+		o.Stage(s, LockStagePreempt, now+us)
 		o.End(s, now+us)
 		o.SetMicro(3, true, now+us)
 		o.SetMicro(3, false, now+us)

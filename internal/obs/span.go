@@ -63,14 +63,19 @@ func SpanKinds() []string {
 // at no cost when observation is off. Refs are valid until End or Cancel.
 type SpanRef int32
 
-// openSpan is one slot of the open-span table.
+// openSpan is one slot of the open-span table. mark and stages carry the
+// causal attribution state: Stage calls credit [mark, now) to a stage and
+// advance mark, and End credits the remainder to the kind's final stage, so
+// the per-span stage sum always equals the span total (see stage.go).
 type openSpan struct {
-	kind  SpanKind
-	live  bool
-	dom   int16
-	vcpu  int16
-	arg   uint64
-	start simtime.Time
+	kind   SpanKind
+	live   bool
+	dom    int16
+	vcpu   int16
+	arg    uint64
+	start  simtime.Time
+	mark   simtime.Time
+	stages [maxStages]simtime.Duration
 }
 
 // spanTable is a free-listed slot pool: Begin reuses a freed slot when one
@@ -86,6 +91,10 @@ type spanTable struct {
 	begun     uint64
 	closed    uint64
 	cancelled uint64
+
+	// openByKind breaks the open count down per kind, so a leaked span is
+	// attributable: Σ openByKind == open() at all times (also a check law).
+	openByKind [numSpanKinds]int
 }
 
 func (t *spanTable) open() int {
@@ -109,12 +118,18 @@ func (o *Observer) Begin(k SpanKind, dom, vcpu int16, arg uint64, now simtime.Ti
 	s.kind, s.live = k, true
 	s.dom, s.vcpu, s.arg = dom, vcpu, arg
 	s.start = now
+	s.mark = now
+	s.stages = [maxStages]simtime.Duration{}
 	t.begun++
+	t.openByKind[k]++
 	return SpanRef(idx + 1)
 }
 
-// End closes ref at now, recording its latency into the kind's histogram.
-// A zero or already-closed ref is a no-op. Allocation-free at steady state.
+// End closes ref at now, recording its latency into the kind's histogram
+// and its stage decomposition into the per-(kind,stage) histograms and exact
+// ledgers. The time since the last Stage mark is credited to the kind's
+// final stage, so Σ stages == total for every closed span. A zero or
+// already-closed ref is a no-op. Allocation-free at steady state.
 func (o *Observer) End(ref SpanRef, now simtime.Time) {
 	idx := int32(ref) - 1
 	if idx < 0 || int(idx) >= len(o.spans.slots) {
@@ -124,9 +139,19 @@ func (o *Observer) End(ref SpanRef, now simtime.Time) {
 	if !s.live {
 		return
 	}
-	o.hists[s.kind].Observe(int64(now - s.start))
+	k := s.kind
+	o.hists[k].Observe(int64(now - s.start))
+	s.stages[spanFinalStage[k]] += now - s.mark
+	o.spanTotal[k] += int64(now - s.start)
+	for i := 0; i < len(spanStageNames[k]); i++ {
+		if d := s.stages[i]; d != 0 {
+			o.stageTotal[k][i] += int64(d)
+			o.stageHists[k][i].Observe(int64(d))
+		}
+	}
 	s.live = false
 	o.spans.closed++
+	o.spans.openByKind[k]--
 	o.spans.free = append(o.spans.free, idx)
 }
 
@@ -143,6 +168,7 @@ func (o *Observer) Cancel(ref SpanRef) {
 	}
 	s.live = false
 	o.spans.cancelled++
+	o.spans.openByKind[s.kind]--
 	o.spans.free = append(o.spans.free, idx)
 }
 

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// BlameStage is one stage's share of a span kind's total closed-span time.
+type BlameStage struct {
+	Name string `json:"name"`
+	// Pct is the stage's share of the kind's total closed-span time; a
+	// row's stage percentages sum to exactly 100.0 (largest-remainder
+	// rounding at 0.1%).
+	Pct     float64 `json:"pct"`
+	TotalMs float64 `json:"total_ms"`
+	P99us   float64 `json:"p99_us"`
+}
+
+// BlameRow is one span kind's causal verdict for a scenario: where its
+// latency budget went and which stage dominates the total.
+type BlameRow struct {
+	Scenario    string       `json:"scenario"`
+	Kind        string       `json:"kind"`
+	Count       uint64       `json:"count"`
+	Open        int          `json:"open,omitempty"`
+	TotalMs     float64      `json:"total_ms"`
+	P50us       float64      `json:"p50_us"`
+	P99us       float64      `json:"p99_us"`
+	P999us      float64      `json:"p999_us"`
+	Dominant    string       `json:"dominant"`
+	DominantPct float64      `json:"dominant_pct"`
+	Stages      []BlameStage `json:"stages"`
+}
+
+// Blame is the causal latency attribution table: per scenario and span kind,
+// the stage latency budget, the dominant cause, and the share of the total
+// attributable to it. paperbench -blame-out writes it as JSON; microtrace
+// blame recomputes it offline from an exported trace.
+type Blame struct {
+	Title string     `json:"title"`
+	Rows  []BlameRow `json:"rows"`
+	Notes []string   `json:"notes,omitempty"`
+}
+
+// Breakdown formats a row's full stage decomposition, e.g.
+// "runq_wait 62.4% + boost_wait 30.1% + dispatch 7.5%".
+func (r *BlameRow) Breakdown() string {
+	parts := make([]string, 0, len(r.Stages))
+	for _, s := range r.Stages {
+		parts = append(parts, fmt.Sprintf("%s %.1f%%", s.Name, s.Pct))
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Validate checks the structural contract consumers (the CI schema check,
+// the regression gate) rely on: non-empty rows with named kinds, a dominant
+// stage present in the breakdown, and stage percentages summing to 100.
+func (b *Blame) Validate() error {
+	if len(b.Rows) == 0 {
+		return fmt.Errorf("blame: no rows")
+	}
+	for i := range b.Rows {
+		r := &b.Rows[i]
+		if r.Kind == "" {
+			return fmt.Errorf("blame row %d: empty kind", i)
+		}
+		if len(r.Stages) == 0 {
+			return fmt.Errorf("blame row %d (%s): no stages", i, r.Kind)
+		}
+		var sum float64
+		dominantSeen := false
+		for _, s := range r.Stages {
+			if s.Name == "" {
+				return fmt.Errorf("blame row %d (%s): unnamed stage", i, r.Kind)
+			}
+			if s.Pct < 0 || s.Pct > 100 {
+				return fmt.Errorf("blame row %d (%s): stage %s share %.1f%% out of range", i, r.Kind, s.Name, s.Pct)
+			}
+			sum += s.Pct
+			if s.Name == r.Dominant {
+				dominantSeen = true
+			}
+		}
+		if math.Abs(sum-100) > 0.05 {
+			return fmt.Errorf("blame row %d (%s): stage shares sum to %.1f%%, want 100%%", i, r.Kind, sum)
+		}
+		if r.Dominant == "" || !dominantSeen {
+			return fmt.Errorf("blame row %d (%s): dominant stage %q not in breakdown", i, r.Kind, r.Dominant)
+		}
+	}
+	return nil
+}
+
+// Render writes the blame table as text.
+func (b *Blame) Render(w io.Writer) {
+	t := &Table{
+		Title:   b.Title,
+		Columns: []string{"scenario", "span", "n", "p99 (us)", "dominant stage", "share", "breakdown"},
+		Notes:   b.Notes,
+	}
+	for i := range b.Rows {
+		r := &b.Rows[i]
+		t.AddRow(r.Scenario, r.Kind, r.Count, r.P99us,
+			r.Dominant, fmt.Sprintf("%.1f%%", r.DominantPct), r.Breakdown())
+	}
+	t.Render(w)
+}

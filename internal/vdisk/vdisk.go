@@ -112,6 +112,11 @@ func (d *Disk) pump() {
 		req := d.queue[0]
 		d.queue = d.queue[1:]
 		d.inflight++
+		if d.Obs != nil {
+			// The request leaves the submission queue: everything since
+			// Submit was queue wait, the rest is device service.
+			d.Obs.Stage(req.span, obs.DiskStageQueue, d.clock.Now())
+		}
 		d.clock.After(d.serviceTime(req.bytes), func() {
 			d.inflight--
 			d.Completed++

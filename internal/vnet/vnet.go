@@ -85,6 +85,14 @@ func (n *NIC) Fetch(max int) []guest.Packet {
 		out = append(out, n.ring[:max]...)
 		n.ring = append([]guest.Packet(nil), n.ring[max:]...)
 	}
+	if o := n.h.Obs; o != nil {
+		// The fetched packets leave the ring: their wait so far was ring
+		// time; softirq processing starts now.
+		now := n.h.Clock.Now()
+		for _, p := range out {
+			o.Stage(p.Span, obs.NetStageRing, now)
+		}
+	}
 	if len(n.ring) > 0 {
 		n.IRQs++
 		n.h.InjectPIRQ(n.dom, hv.VecNet, 0)
