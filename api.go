@@ -39,6 +39,34 @@ type VM struct {
 	Seed uint64
 	// Disk attaches a virtual block device (needed by "fileserver").
 	Disk bool
+	// Pins pins vCPU j of this VM to pCPU Pins[j]; negative entries leave
+	// that vCPU unpinned. Pinning a serving VM onto its co-runner's pCPU
+	// reproduces the paper's consolidated shape (Figure 9).
+	Pins []int
+	// Serve, when non-nil, attaches an open-loop request-serving workload
+	// to the VM: Poisson request arrivals into its virtual NIC, served by
+	// per-vCPU server threads, with end-to-end SLO accounting. The
+	// read-out lands in the VM's VMStats.Requests.
+	Serve *ServeConfig
+}
+
+// ServeConfig configures a VM's open-loop request-serving workload.
+// Latency is measured from each request's *intended* arrival instant, so
+// the reported quantiles are coordinated-omission-free; requests
+// tail-dropped at the full NIC ring count against the SLO.
+type ServeConfig struct {
+	// RatePerSec is the mean offered load in requests per second
+	// (required, Poisson arrivals).
+	RatePerSec int
+	// SLOMs is the end-to-end latency objective in milliseconds
+	// (defaults to 5).
+	SLOMs float64
+	// ReqBytes sizes each request packet (defaults to 512).
+	ReqBytes int
+	// RingCap bounds the NIC RX ring (defaults to the NIC default).
+	RingCap int
+	// Seed drives the arrival process and service-time draws.
+	Seed uint64
 }
 
 // Scenario is a consolidated-host simulation.
@@ -186,6 +214,10 @@ func (s Scenario) Validate() error {
 	if s.Seconds < 0 {
 		return &ScenarioError{Field: "Seconds", Reason: fmt.Sprintf("%v is negative", s.Seconds)}
 	}
+	pcpus := s.PCPUs
+	if pcpus == 0 {
+		pcpus = experiment.DefaultPCPUs
+	}
 	for i, vm := range s.VMs {
 		if vm.VCPUs < 0 {
 			return &ScenarioError{
@@ -199,10 +231,40 @@ func (s Scenario) Validate() error {
 				Reason: fmt.Sprintf("unknown application %q (have %v)", vm.App, workload.Catalog()),
 			}
 		}
-	}
-	pcpus := s.PCPUs
-	if pcpus == 0 {
-		pcpus = experiment.DefaultPCPUs
+		for j, pin := range vm.Pins {
+			if pin >= pcpus {
+				return &ScenarioError{
+					Field:  fmt.Sprintf("VMs[%d].Pins[%d]", i, j),
+					Reason: fmt.Sprintf("pCPU %d does not exist (host has %d)", pin, pcpus),
+				}
+			}
+		}
+		if sv := vm.Serve; sv != nil {
+			if sv.RatePerSec <= 0 {
+				return &ScenarioError{
+					Field:  fmt.Sprintf("VMs[%d].Serve.RatePerSec", i),
+					Reason: fmt.Sprintf("%d must be positive", sv.RatePerSec),
+				}
+			}
+			if sv.SLOMs < 0 {
+				return &ScenarioError{
+					Field:  fmt.Sprintf("VMs[%d].Serve.SLOMs", i),
+					Reason: fmt.Sprintf("%v is negative", sv.SLOMs),
+				}
+			}
+			if sv.ReqBytes < 0 {
+				return &ScenarioError{
+					Field:  fmt.Sprintf("VMs[%d].Serve.ReqBytes", i),
+					Reason: fmt.Sprintf("%d is negative", sv.ReqBytes),
+				}
+			}
+			if sv.RingCap < 0 {
+				return &ScenarioError{
+					Field:  fmt.Sprintf("VMs[%d].Serve.RingCap", i),
+					Reason: fmt.Sprintf("%d is negative", sv.RingCap),
+				}
+			}
+		}
 	}
 	switch s.Mode {
 	case Off, Static, Dynamic, "":
@@ -268,6 +330,37 @@ type VMStats struct {
 	// LockWaitAvgUs is the mean contended spinlock wait per Lockstat
 	// class.
 	LockWaitAvgUs map[string]float64
+	// Requests is the serving read-out (nil unless the VM had a Serve
+	// config).
+	Requests *RequestStats
+}
+
+// RequestStats is the end-to-end outcome of a VM's request-serving
+// workload. The ledger is exact and conserved: Offered == Dropped +
+// Completed + InFlight.
+type RequestStats struct {
+	// Offered counts arrivals fired at their intended instants; Dropped
+	// those tail-dropped at the full NIC ring (SLO violations); Completed
+	// those whose reply was transmitted; Late the completed ones that
+	// missed the SLO; InFlight those still in the pipeline at run end.
+	Offered, Dropped, Completed, Late, InFlight uint64
+	// SLOMs is the objective the run was judged against.
+	SLOMs float64
+	// Latency quantiles (ms) of completed requests, measured from the
+	// intended arrival (coordinated-omission-free).
+	P50Ms, P99Ms, P999Ms, MaxMs float64
+	// OfferedRPS and GoodputRPS are offered load and completed-within-SLO
+	// throughput over the run.
+	OfferedRPS, GoodputRPS float64
+}
+
+// SLOAttainment is the fraction of offered requests served within the
+// SLO (1 when nothing was offered).
+func (r *RequestStats) SLOAttainment() float64 {
+	if r.Offered == 0 {
+		return 1
+	}
+	return 1 - float64(r.Dropped+r.Late)/float64(r.Offered)
 }
 
 // TotalYields sums the yield sources.
@@ -422,9 +515,20 @@ func Simulate(s Scenario) (*Results, error) {
 		if seed == 0 {
 			seed = uint64(11 * (i + 1))
 		}
-		setup.VMs = append(setup.VMs, experiment.VMSpec{
+		spec := experiment.VMSpec{
 			Name: name, App: vm.App, VCPUs: vm.VCPUs, Seed: seed, Disk: vm.Disk,
-		})
+			Pins: append([]int(nil), vm.Pins...),
+		}
+		if sv := vm.Serve; sv != nil {
+			spec.Serve = &experiment.ServeSpec{
+				RatePerSec: sv.RatePerSec,
+				ReqBytes:   sv.ReqBytes,
+				SLO:        simtime.Duration(sv.SLOMs * float64(simtime.Millisecond)),
+				RingCap:    sv.RingCap,
+				Seed:       sv.Seed,
+			}
+		}
+		setup.VMs = append(setup.VMs, spec)
 	}
 	switch s.Mode {
 	case Off, "":
@@ -486,6 +590,22 @@ func Simulate(s Scenario) (*Results, error) {
 		for class, h := range vm.LockStat {
 			if h.Count() > 0 {
 				st.LockWaitAvgUs[class] = h.Mean() / 1000
+			}
+		}
+		if rq := vm.Requests; rq != nil {
+			st.Requests = &RequestStats{
+				Offered:    rq.Offered,
+				Dropped:    rq.Dropped,
+				Completed:  rq.Completed,
+				Late:       rq.Late,
+				InFlight:   rq.InFlight,
+				SLOMs:      float64(rq.SLO) / 1e6,
+				P50Ms:      float64(rq.P50) / 1e6,
+				P99Ms:      float64(rq.P99) / 1e6,
+				P999Ms:     float64(rq.P999) / 1e6,
+				MaxMs:      float64(rq.Max) / 1e6,
+				OfferedRPS: rq.OfferedRPS,
+				GoodputRPS: rq.GoodputRPS,
 			}
 		}
 		out.VMs = append(out.VMs, st)

@@ -98,6 +98,57 @@ func TestSimulateValidation(t *testing.T) {
 	if _, err := Simulate(Scenario{VMs: []VM{{App: "exim"}}, Mode: "weird"}); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
+	if _, err := Simulate(Scenario{
+		PCPUs: 2,
+		VMs:   []VM{{App: "exim", VCPUs: 1, Pins: []int{5}}},
+	}); err == nil {
+		t.Fatal("out-of-range pin accepted")
+	}
+}
+
+func TestSimulateServing(t *testing.T) {
+	res, err := Simulate(Scenario{
+		PCPUs: 3,
+		VMs: []VM{
+			{App: "lookbusy", VCPUs: 1, Serve: &ServeConfig{RatePerSec: 4000}},
+			{App: "swaptions", VCPUs: 1},
+		},
+		Mode:    Dynamic,
+		Seconds: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq := res.VM("lookbusy").Requests
+	if rq == nil {
+		t.Fatal("no request stats on the serving VM")
+	}
+	if rq.Offered == 0 || rq.Completed == 0 {
+		t.Fatalf("no serving traffic: %+v", rq)
+	}
+	if rq.Offered != rq.Dropped+rq.Completed+rq.InFlight {
+		t.Fatalf("request ledger unbalanced: %+v", rq)
+	}
+	if rq.SLOMs != 5 {
+		t.Fatalf("default SLO %v ms, want 5", rq.SLOMs)
+	}
+	if a := rq.SLOAttainment(); a < 0 || a > 1 {
+		t.Fatalf("attainment %v outside [0,1]", a)
+	}
+	if other := res.VM("swaptions").Requests; other != nil {
+		t.Fatal("non-serving VM has request stats")
+	}
+
+	if _, err := Simulate(Scenario{
+		VMs: []VM{{App: "exim", Serve: &ServeConfig{RatePerSec: 0}}},
+	}); err == nil {
+		t.Fatal("zero serve rate accepted")
+	}
+	if _, err := Simulate(Scenario{
+		VMs: []VM{{App: "exim", Serve: &ServeConfig{RatePerSec: 100, SLOMs: -1}}},
+	}); err == nil {
+		t.Fatal("negative SLO accepted")
+	}
 }
 
 func TestSimulateDeterministic(t *testing.T) {

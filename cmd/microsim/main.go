@@ -30,6 +30,9 @@ func main() {
 		vcpus   = flag.Int("vcpus", 12, "vCPUs per VM")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		symbols = flag.Bool("symbols", false, "also print detected critical symbols")
+		srvRate = flag.Int("serve-rate", 0, "attach an open-loop request-serving workload to the first VM at this offered load (req/s)")
+		srvSLO  = flag.Float64("serve-slo-ms", 5, "end-to-end latency SLO in milliseconds for -serve-rate")
+		pin0    = flag.Bool("pin0", false, "pin every vCPU to pCPU 0 (the paper's consolidated shape: VMs contend for one core while spare cores can host the micro pool)")
 	)
 	flag.Parse()
 	if *list {
@@ -54,7 +57,14 @@ func main() {
 				name = fmt.Sprintf("%s-%d", app, i)
 			}
 		}
-		sc.VMs = append(sc.VMs, microsliced.VM{Name: name, App: app, VCPUs: *vcpus})
+		vm := microsliced.VM{Name: name, App: app, VCPUs: *vcpus}
+		if *pin0 {
+			vm.Pins = make([]int, *vcpus)
+		}
+		if i == 0 && *srvRate > 0 {
+			vm.Serve = &microsliced.ServeConfig{RatePerSec: *srvRate, SLOMs: *srvSLO}
+		}
+		sc.VMs = append(sc.VMs, vm)
 	}
 	res, err := microsliced.Simulate(sc)
 	if err != nil {
@@ -81,6 +91,12 @@ func main() {
 		sort.Strings(classes)
 		for _, c := range classes {
 			fmt.Printf("   lock wait %-16s avg=%.2fus\n", c, vm.LockWaitAvgUs[c])
+		}
+		if rq := vm.Requests; rq != nil {
+			fmt.Printf("   requests: offered=%d completed=%d dropped=%d late=%d (%.2f%% within %.1fms SLO)\n",
+				rq.Offered, rq.Completed, rq.Dropped, rq.Late, 100*rq.SLOAttainment(), rq.SLOMs)
+			fmt.Printf("   latency: p50=%.3fms p99=%.3fms p999=%.3fms max=%.3fms goodput<SLO=%.0f req/s\n",
+				rq.P50Ms, rq.P99Ms, rq.P999Ms, rq.MaxMs, rq.GoodputRPS)
 		}
 		fmt.Println()
 	}

@@ -25,13 +25,15 @@ import (
 
 func main() {
 	var (
-		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs,faultsweep,recoverysweep or 'all'")
+		runs     = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,table4a,table4b,table4c,fig4,fig5,fig6,fig7,fig8,fig9,ext-usercs,faultsweep,recoverysweep,serve or 'all'")
 		secs     = flag.Float64("seconds", 3, "simulated seconds per run")
 		par      = flag.Int("parallel", 0, "scenario workers (0 = GOMAXPROCS, 1 = serial)")
 		prof     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		faults   = flag.Bool("faults", false, "also run the fault-injection sweep (shorthand for adding faultsweep to -run)")
 		recov    = flag.Bool("recovery", false, "also run the recovery sweep: harsh faults, supervisor on, MTTR percentiles (shorthand for adding recoverysweep to -run)")
+		serve    = flag.Bool("serve", false, "also run the serving sweep: open-loop RPC under co-run, goodput-under-SLO and tail latency per mechanism (shorthand for adding serve to -run)")
+		serveOut = flag.String("serve-out", "", "write the serving sweep result as JSON to this file (implies -serve)")
 		verbose  = flag.Bool("v", false, "attach the observability layer and print one telemetry line per scenario, plus a per-kind dominant-stage blame line")
 		checked  = flag.Bool("check", false, "run the conformance conservation checks after every scenario (fails fast on a scheduler accounting violation)")
 		traceOut = flag.String("trace-out", "", "run one demo consolidation scenario, write its Chrome trace-event JSON (Perfetto-loadable) to this file, and exit")
@@ -130,10 +132,13 @@ func main() {
 	if *recov {
 		want["recoverysweep"] = true
 	}
-	// The fault and recovery sweeps are opt-in: "all" means the paper's
-	// artefacts.
+	if *serve || *serveOut != "" {
+		want["serve"] = true
+	}
+	// The fault, recovery and serving sweeps are opt-in: "all" means the
+	// paper's artefacts.
 	sel := func(name string) bool {
-		if name == "faultsweep" || name == "recoverysweep" {
+		if name == "faultsweep" || name == "recoverysweep" || name == "serve" {
 			return want[name]
 		}
 		return all || want[name]
@@ -184,6 +189,15 @@ func main() {
 		{"ext-usercs", func() (report.Renderer, error) { return experiment.ExtensionUserCS(dur) }},
 		{"faultsweep", func() (report.Renderer, error) { return experiment.FaultSweep(dur) }},
 		{"recoverysweep", func() (report.Renderer, error) { return experiment.RecoverySweep(dur) }},
+		{"serve", func() (report.Renderer, error) {
+			r, err := experiment.ServeSweep(dur)
+			if err == nil && *serveOut != "" {
+				if werr := writeJSON(*serveOut, r); werr != nil {
+					return nil, fmt.Errorf("serve-out: %w", werr)
+				}
+			}
+			return r, err
+		}},
 	}
 	start := time.Now()
 	for _, j := range jobs {
@@ -303,6 +317,19 @@ func blameLines(s experiment.Setup, r *experiment.Result) []string {
 			label, sp.Kind, sp.Blame, sp.BlamePct, strings.Join(parts, " + "), sp.P99, sp.Count))
 	}
 	return out
+}
+
+// writeJSON marshals v with indentation and writes it to path.
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
 // writeBlame runs the consolidation demo, validates the resulting causal

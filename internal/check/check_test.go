@@ -131,6 +131,43 @@ func TestInjectedStageSkewCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+// TestInjectedRequestLeakCaught proves the request conservation law has
+// teeth: silently "losing" one request between the softirq and the socket
+// (Delivered bumped without a matching consume) must break the pipeline
+// ledger equalities.
+func TestInjectedRequestLeakCaught(t *testing.T) {
+	c := &Checker{post: func(pr *experiment.PostRun) error {
+		for i := range pr.Result.VMs {
+			if rq := pr.Result.VMs[i].Requests; rq != nil {
+				rq.Delivered++
+				break
+			}
+		}
+		return Conservation(pr)
+	}}
+	var sc Scenario
+	found := false
+	for seed := uint64(1); seed < 128 && !found; seed++ {
+		s := Generate(seed)
+		for _, vm := range s.VMs {
+			if vm.ServeRate > 0 {
+				sc, found = s, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("generator produced no serving scenario in 128 seeds")
+	}
+	err := c.Check(sc)
+	if err == nil {
+		t.Fatal("injected request leak was not caught")
+	}
+	if !strings.Contains(err.Error(), "requests") {
+		t.Fatalf("error does not name the request ledger: %v", err)
+	}
+}
+
 // TestGenerateDeterministic: the same seed always yields the same scenario
 // (fixtures would be worthless otherwise).
 func TestGenerateDeterministic(t *testing.T) {

@@ -139,7 +139,57 @@ func conservation(pr *experiment.PostRun, violationsAfter simtime.Time) error {
 		fail("Σ vCPU VIRQReceived %d exceeds virq.sent %d", virqRecv, sent)
 	}
 
+	// Request conservation: a serving VM's pipeline ledger must balance at
+	// every hand-off — offered splits into dropped and admitted, admitted
+	// into ring-resident, mid-softirq and delivered, delivered into
+	// socket-resident and consumed, consumed into in-service and completed.
+	// A request lost between stages (or counted twice) breaks one of these
+	// exact equalities.
+	var reqInFlight, reqCompleted uint64
+	haveServe := false
+	for i := range pr.Result.VMs {
+		rq := pr.Result.VMs[i].Requests
+		if rq == nil {
+			continue
+		}
+		haveServe = true
+		name := pr.Result.VMs[i].Name
+		if rq.Offered != rq.Dropped+rq.Admitted {
+			fail("requests %s: offered %d != dropped %d + admitted %d", name, rq.Offered, rq.Dropped, rq.Admitted)
+		}
+		if rq.Admitted != uint64(rq.RingResident)+uint64(rq.SoftirqResident)+rq.Delivered {
+			fail("requests %s: admitted %d != ring %d + softirq %d + delivered %d",
+				name, rq.Admitted, rq.RingResident, rq.SoftirqResident, rq.Delivered)
+		}
+		if rq.Delivered != uint64(rq.SockResident)+rq.Consumed {
+			fail("requests %s: delivered %d != sock %d + consumed %d", name, rq.Delivered, rq.SockResident, rq.Consumed)
+		}
+		if rq.Consumed != uint64(rq.InService)+rq.Completed {
+			fail("requests %s: consumed %d != in-service %d + completed %d", name, rq.Consumed, rq.InService, rq.Completed)
+		}
+		if rq.InFlight != rq.Offered-rq.Dropped-rq.Completed {
+			fail("requests %s: in-flight %d != offered %d - dropped %d - completed %d",
+				name, rq.InFlight, rq.Offered, rq.Dropped, rq.Completed)
+		}
+		if rq.Late > rq.Completed {
+			fail("requests %s: late %d exceeds completed %d", name, rq.Late, rq.Completed)
+		}
+		reqInFlight += rq.InFlight
+		reqCompleted += rq.Completed
+	}
+
 	if o := pr.Obs; o != nil {
+		if haveServe {
+			// The observer's request-span ledger must mirror the flow
+			// ledgers: one span open per in-flight request, one closed
+			// (latency-recorded) span per completed request.
+			if open := o.OpenSpansByKind()[obs.SpanRequest]; uint64(open) != reqInFlight {
+				fail("requests: %d open request spans != Σ in-flight %d", open, reqInFlight)
+			}
+			if got := uint64(o.Hist(obs.SpanRequest).Count()); got != reqCompleted {
+				fail("requests: %d closed request spans != Σ completed %d", got, reqCompleted)
+			}
+		}
 		for _, r := range o.ResidencySnapshot(pr.Now) {
 			total := r.Running + r.Runnable + r.Boosted + r.Blocked
 			if total != simtime.Duration(pr.Now) {

@@ -50,6 +50,14 @@ func Generate(seed uint64) Scenario {
 				vm.Pins[j] = r.Intn(sc.PCPUs+1) - 1 // -1 (unpinned) .. PCPUs-1
 			}
 		}
+		if r.Bool(0.3) {
+			// Attach an open-loop serving workload: the request conservation
+			// law then runs over this VM's pipeline. Small rings make tail
+			// drops (the trickiest ledger path) common.
+			vm.ServeRate = 2000 + r.Intn(8001) // 2000..10000 req/s
+			vm.ServeSeed = r.Uint64()
+			vm.ServeRing = 4 + r.Intn(29) // 4..32 slots
+		}
 		sc.VMs = append(sc.VMs, vm)
 	}
 

@@ -155,6 +155,8 @@ func diffResults(a, b *experiment.Result) error {
 			return fmt.Errorf("VM %s TLB histograms differ", av.Name)
 		case !reflect.DeepEqual(av.LockStat, bv.LockStat):
 			return fmt.Errorf("VM %s lock histograms differ", av.Name)
+		case !reflect.DeepEqual(av.Requests, bv.Requests):
+			return fmt.Errorf("VM %s request stats %+v != %+v", av.Name, av.Requests, bv.Requests)
 		}
 	}
 	return nil

@@ -56,6 +56,13 @@ type VMSpec struct {
 	Seed   uint64 `json:"seed"`
 	Weight int    `json:"weight,omitempty"`
 	Pins   []int  `json:"pins,omitempty"`
+	// ServeRate, when positive, attaches an open-loop request-serving
+	// workload at that offered load (req/s); ServeSeed drives its arrival
+	// process and ServeRing bounds the NIC RX ring (0: default). Serving
+	// scenarios exercise the request conservation law in Conservation.
+	ServeRate int    `json:"serve_rate,omitempty"`
+	ServeSeed uint64 `json:"serve_seed,omitempty"`
+	ServeRing int    `json:"serve_ring,omitempty"`
 }
 
 // FaultSpec is the scenario's fault-injection plan (nil: fault-free).
@@ -104,6 +111,13 @@ func (sc Scenario) ToSetup() experiment.Setup {
 			Seed:   vm.Seed,
 			Weight: vm.Weight,
 			Pins:   append([]int(nil), vm.Pins...),
+		}
+		if vm.ServeRate > 0 {
+			vms[i].Serve = &experiment.ServeSpec{
+				RatePerSec: vm.ServeRate,
+				RingCap:    vm.ServeRing,
+				Seed:       vm.ServeSeed,
+			}
 		}
 	}
 

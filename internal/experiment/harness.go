@@ -20,6 +20,7 @@ import (
 	"github.com/microslicedcore/microsliced/internal/recovery"
 	"github.com/microslicedcore/microsliced/internal/simtime"
 	"github.com/microslicedcore/microsliced/internal/vdisk"
+	"github.com/microslicedcore/microsliced/internal/vnet"
 	"github.com/microslicedcore/microsliced/internal/workload"
 )
 
@@ -46,6 +47,26 @@ type VMSpec struct {
 	// that vCPU unpinned; a slice shorter than the vCPU count leaves the
 	// remainder unpinned.
 	Pins []int
+	// Serve attaches an open-loop request-serving workload: a virtual NIC,
+	// a seeded Poisson arrival process (vnet.RequestFlow) and one server
+	// thread per vCPU (workload.RequestServer). Composes with App — the
+	// app's threads co-run inside the same VM, the paper's Figure 9 mixed
+	// shape. App may be empty for a pure serving VM.
+	Serve *ServeSpec
+}
+
+// DefaultServeSLO is the end-to-end latency objective when ServeSpec.SLO
+// is 0.
+const DefaultServeSLO = 5 * simtime.Millisecond
+
+// ServeSpec configures a VM's open-loop request-serving workload.
+type ServeSpec struct {
+	RatePerSec int              // mean offered load, Poisson arrivals (required)
+	ReqBytes   int              // request packet size (0: vnet.DefaultReqBytes)
+	SLO        simtime.Duration // end-to-end latency objective (0: DefaultServeSLO)
+	RingCap    int              // NIC RX ring capacity (0: vnet.DefaultRingSize)
+	Seed       uint64
+	Profile    *workload.ServeProfile // per-request work (nil: defaults)
 }
 
 // Setup is a complete scenario.
@@ -124,6 +145,39 @@ type VMResult struct {
 	// VCPURan is each vCPU's execution time — the per-vCPU progress
 	// record fault tests assert on (no vCPU may starve under injection).
 	VCPURan []simtime.Duration
+	// Requests is the serving read-out (nil unless the VM had a Serve
+	// spec).
+	Requests *RequestStats
+}
+
+// RequestStats is the end-of-run read-out of a VM's serving workload. The
+// counters and residency terms come from independent ledgers (arrival
+// flow, NIC ring, in-flight softirq batches, sockets, server pool), so
+// internal/check can reconcile them against each other: offered ==
+// dropped + admitted; admitted == ring + softirq + delivered; delivered ==
+// consumed + socket-resident; consumed == completed + in-service.
+type RequestStats struct {
+	Offered   uint64 // arrivals fired (intended instants)
+	Admitted  uint64 // accepted into the NIC ring
+	Dropped   uint64 // tail-dropped at the full ring — SLO violations
+	Completed uint64 // replies transmitted
+	Late      uint64 // completed past the SLO
+	InFlight  uint64 // offered - dropped - completed at run end
+
+	RingResident    int    // still in the NIC ring
+	SoftirqResident int    // fetched, not yet delivered (mid-softirq)
+	SockResident    int    // delivered, not yet consumed
+	InService       int    // consumed, reply not yet transmitted
+	Delivered       uint64 // Σ socket deliveries
+	Consumed        uint64 // Σ socket consumes
+
+	SLO simtime.Duration
+	// Latency quantiles (ns) of completed requests, measured from the
+	// intended arrival instant (coordinated-omission-free).
+	P50, P99, P999, Max int64
+
+	OfferedRPS float64
+	GoodputRPS float64 // completed-within-SLO requests per second of run time
 }
 
 // YieldBreakdown decomposes yields by source (paper Figure 7).
@@ -282,6 +336,7 @@ func Run(s Setup) (res *Result, err error) {
 	kernels := make([]*guest.Kernel, len(s.VMs))
 	apps := make([]*workload.App, len(s.VMs))
 	disks := make([]*vdisk.Disk, len(s.VMs))
+	rigs := make([]serveRig, len(s.VMs))
 	for i, vm := range s.VMs {
 		n := vm.VCPUs
 		if n == 0 {
@@ -292,11 +347,22 @@ func Run(s Setup) (res *Result, err error) {
 			disks[i] = vdisk.New(clock, 5000+vm.Seed)
 			kernels[i].AttachDisk(disks[i])
 		}
-		app, err := workload.New(vm.App, kernels[i], vm.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: VM %s: %v", vm.Name, err)
+		if vm.App == "" && vm.Serve != nil {
+			apps[i] = workload.Empty("serve", kernels[i])
+		} else {
+			app, aerr := workload.New(vm.App, kernels[i], vm.Seed)
+			if aerr != nil {
+				return nil, fmt.Errorf("experiment: VM %s: %v", vm.Name, aerr)
+			}
+			apps[i] = app
 		}
-		apps[i] = app
+		if vm.Serve != nil {
+			rig, serr := buildServe(clock, h, kernels[i], apps[i], vm.Serve, n)
+			if serr != nil {
+				return nil, fmt.Errorf("experiment: VM %s: %v", vm.Name, serr)
+			}
+			rigs[i] = rig
+		}
 		if plan != nil {
 			plan.AttachGuest(kernels[i])
 		}
@@ -344,11 +410,20 @@ func Run(s Setup) (res *Result, err error) {
 		rivalStart()
 	}
 	for i, k := range kernels {
-		if s.StaggerStart && i > 0 {
+		// A serving VM's arrival process starts with its kernel, riding the
+		// same stagger.
+		start := k.StartAll
+		if flow := rigs[i].flow; flow != nil {
 			k := k
-			clock.At(simtime.Time(i)*7*simtime.Millisecond, k.StartAll)
+			start = func() {
+				k.StartAll()
+				flow.Start()
+			}
+		}
+		if s.StaggerStart && i > 0 {
+			clock.At(simtime.Time(i)*7*simtime.Millisecond, start)
 		} else {
-			k.StartAll()
+			start()
 		}
 	}
 	clock.RunUntil(s.Duration)
@@ -357,7 +432,7 @@ func Run(s Setup) (res *Result, err error) {
 			"experiment: event-loop livelock at t=%v: %d events without the clock advancing (recent events: %v)",
 			wdInfo.Now, wdInfo.SameTimeEvents, wdInfo.RecentLabels)
 	}
-	res = collect(s, h, ctrl, kernels, apps)
+	res = collect(s, h, ctrl, kernels, apps, rigs)
 	if auditor != nil {
 		res.Violations = auditor.Violations()
 	}
@@ -411,7 +486,74 @@ func Run(s Setup) (res *Result, err error) {
 	return res, nil
 }
 
-func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.Kernel, apps []*workload.App) *Result {
+// serveRig bundles one VM's serving composition for start and collection.
+type serveRig struct {
+	nic    *vnet.NIC
+	flow   *vnet.RequestFlow
+	pool   *workload.ServerPool
+	kernel *guest.Kernel
+}
+
+// buildServe composes a VM's serving workload: NIC, per-vCPU sockets and
+// server threads, and the open-loop arrival flow. The NIC reads its
+// domain's ID dynamically, so building before a DomRelabel is safe.
+func buildServe(clock *simtime.Clock, h *hv.Hypervisor, k *guest.Kernel, app *workload.App, sv *ServeSpec, vcpus int) (serveRig, error) {
+	nic := vnet.NewNIC(h, k.Dom, sv.RingCap)
+	k.AttachNIC(nic)
+	slo := sv.SLO
+	if slo == 0 {
+		slo = DefaultServeSLO
+	}
+	flow, err := vnet.NewRequestFlow(clock, nic, sv.RatePerSec, sv.ReqBytes, slo, vcpus, sv.Seed)
+	if err != nil {
+		return serveRig{}, err
+	}
+	prof := workload.DefaultServeProfile()
+	if sv.Profile != nil {
+		prof = *sv.Profile
+	}
+	pool, err := workload.RequestServer(app, flow, prof, sv.Seed+1)
+	if err != nil {
+		return serveRig{}, err
+	}
+	return serveRig{nic: nic, flow: flow, pool: pool, kernel: k}, nil
+}
+
+// requestStats builds the end-of-run serving read-out from the rig's
+// independent ledgers.
+func requestStats(rig serveRig, dur simtime.Duration) *RequestStats {
+	f := rig.flow
+	st := &RequestStats{
+		Offered:         f.Offered,
+		Admitted:        rig.nic.RxPackets,
+		Dropped:         f.Dropped,
+		Completed:       f.Completed,
+		Late:            f.Late,
+		InFlight:        f.InFlight(),
+		RingResident:    rig.nic.RingLen(),
+		SoftirqResident: rig.kernel.NetPktsInFlight(),
+		InService:       rig.pool.InService(),
+		SLO:             f.SLO(),
+	}
+	for _, sock := range rig.pool.Sockets {
+		st.SockResident += sock.Len()
+		st.Delivered += sock.Delivered
+		st.Consumed += sock.Consumed
+	}
+	if f.Lat.Count() > 0 {
+		st.P50 = f.Lat.Quantile(0.50)
+		st.P99 = f.Lat.Quantile(0.99)
+		st.P999 = f.Lat.Quantile(0.999)
+		st.Max = f.Lat.Max()
+	}
+	if secs := dur.Seconds(); secs > 0 {
+		st.OfferedRPS = float64(f.Offered) / secs
+		st.GoodputRPS = float64(f.Completed-f.Late) / secs
+	}
+	return st
+}
+
+func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.Kernel, apps []*workload.App, rigs []serveRig) *Result {
 	res := &Result{
 		HV:         h.Counters.Snapshot(),
 		Core:       ctrl.Counters.Snapshot(),
@@ -427,10 +569,15 @@ func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.
 			ran += v.RanTotal()
 			perVCPU = append(perVCPU, v.RanTotal())
 		}
+		var reqs *RequestStats
+		if rigs != nil && rigs[i].flow != nil {
+			reqs = requestStats(rigs[i], s.Duration)
+		}
 		res.VMs = append(res.VMs, VMResult{
-			Name:  s.VMs[i].Name,
-			App:   s.VMs[i].App,
-			Units: apps[i].Units(),
+			Name:     s.VMs[i].Name,
+			App:      s.VMs[i].App,
+			Requests: reqs,
+			Units:    apps[i].Units(),
 			Yields: YieldBreakdown{
 				IPI:   d.Counters.Value("yield.ipi"),
 				PLE:   d.Counters.Value("yield.ple"),
@@ -474,3 +621,4 @@ func corunSetup(app string, cc core.Config, dur simtime.Duration) Setup {
 		StaggerStart: true,
 	}
 }
+

@@ -293,6 +293,7 @@ func (v *VCPU) irqStageDone() {
 			if !ok {
 				if o := v.k.HV.Obs; o != nil {
 					o.Cancel(p.Span) // dropped: its net_rx span never closes
+					o.Cancel(p.ReqSpan)
 				}
 				continue // no listener; drop
 			}
@@ -300,6 +301,7 @@ func (v *VCPU) irqStageDone() {
 				// hardirq + softirq processing ends here; what follows is
 				// socket-buffer wait until the application consumes.
 				o.Stage(p.Span, obs.NetStageSoftirq, v.now())
+				o.Stage(p.ReqSpan, obs.ReqStageSoftirq, v.now())
 			}
 			if w := sock.deliver(p); w != nil {
 				v.k.wakeThreadFrom(v, w)
@@ -608,6 +610,10 @@ func (v *VCPU) opDone() {
 		v.initiateShootdown(t)
 		return
 	}
+	// Capture the completion hook before the effects: a wake effect can
+	// synchronously re-dispatch this vCPU and advance t.op to the next op
+	// (see the comment below) — the hook must be the completed op's.
+	done := t.op.Done
 	// Commit completion before applying effects: an effect that wakes a
 	// sibling (lock release, explicit wake, packet consume) can boost-tickle
 	// this very pCPU, preempting and synchronously re-dispatching this vCPU
@@ -639,10 +645,16 @@ func (v *VCPU) opDone() {
 		sock.Consumed++
 		if o := v.k.HV.Obs; o != nil {
 			o.End(p.Span, now) // net_rx closes at application-level consume
+			// The request span stays open: socket wait ends here, service
+			// begins.
+			o.Stage(p.ReqSpan, obs.ReqStageSock, now)
 		}
 		if sock.OnAppConsume != nil {
 			sock.OnAppConsume(p, now)
 		}
+	}
+	if done != nil {
+		done(now)
 	}
 	v.resume()
 }

@@ -59,11 +59,17 @@ type Packet struct {
 	Bytes  int
 	SentAt simtime.Time
 	Span   obs.SpanRef // open net_rx span riding the packet (0: none)
+	// ReqSpan is the open end-to-end request span when the packet carries an
+	// open-loop serving request (0: none). It rides past the net_rx span's
+	// close at consume, through service, to the reply's transmission.
+	ReqSpan obs.SpanRef
 }
 
 // NetDevice is the guest-facing interface of a virtual NIC (implemented by
 // internal/vnet). Fetch drains received packets from the device ring;
-// Transmit sends guest->world traffic.
+// Transmit sends guest->world traffic. The slice Fetch returns is only
+// valid until the next Fetch call (the device may reuse its backing
+// storage); the engine fully delivers each batch before fetching again.
 type NetDevice interface {
 	Fetch(max int) []Packet
 	Transmit(bytes int, now simtime.Time)
@@ -308,6 +314,20 @@ func (k *Kernel) NewSocket(flow int) *Socket {
 
 // AttachNIC registers the domain's virtual NIC.
 func (k *Kernel) AttachNIC(dev NetDevice) { k.nic = dev }
+
+// NetPktsInFlight counts packets fetched from the NIC ring but not yet
+// delivered to a socket: the batch held by an in-flight (possibly
+// preempted) softirq handler. A residency term of the request conservation
+// law internal/check verifies.
+func (k *Kernel) NetPktsInFlight() int {
+	n := 0
+	for _, v := range k.VCPUs {
+		if v.irq != nil && v.irq.vec == hv.VecNet && v.irq.stage == 1 {
+			n += len(v.irq.pkts)
+		}
+	}
+	return n
+}
 
 // AttachDisk registers the domain's virtual block device.
 func (k *Kernel) AttachDisk(dev BlockDevice) { k.disk = dev }

@@ -98,6 +98,11 @@ type Op struct {
 	Bytes  int              // OpSend / OpDisk payload
 	Write  bool             // OpDisk direction
 	Target *Thread          // OpWake target
+	// Done, if set, fires when the op completes through the engine's normal
+	// completion path (opDone), after the op's effects, at the completion
+	// instant — e.g. a serving reply's transmit timestamp. It does not fire
+	// for ops that complete elsewhere (OpTLBFlush, OpExit).
+	Done func(now simtime.Time)
 }
 
 // Program generates a thread's operation sequence. Next is called each time

@@ -31,6 +31,13 @@ const (
 	// detection of a starved runnable vCPU to the walk that observes it
 	// running again — the per-episode time-to-reconverge.
 	SpanRecover
+	// SpanRequest measures one open-loop serving request end-to-end: the
+	// *intended* (Poisson-scheduled) arrival instant to the reply's
+	// transmission. Opening at the intended arrival rather than any send
+	// completion makes the measurement coordinated-omission-free; a request
+	// tail-dropped at the full NIC ring cancels the span and is counted
+	// against the SLO by the flow instead.
+	SpanRequest
 	numSpanKinds
 )
 
@@ -41,6 +48,7 @@ var spanNames = [numSpanKinds]string{
 	SpanDiskIO:       "disk_io",
 	SpanNetRx:        "net_rx",
 	SpanRecover:      "recover",
+	SpanRequest:      "request",
 }
 
 // String names the span kind.

@@ -23,7 +23,7 @@ import (
 
 // maxStages bounds the stage count of any span kind; the per-span stage
 // array is this long so slots stay fixed-size.
-const maxStages = 4
+const maxStages = 5
 
 // wake_dispatch stages: where a woken vCPU's scheduling turnaround went.
 const (
@@ -96,6 +96,25 @@ const (
 	RecoverStageRepair = iota
 )
 
+// request stages: where an open-loop serving request's end-to-end latency
+// went. The first three mirror the net_rx delivery chain; the last two are
+// the guest-side serving half.
+const (
+	// ReqStageRing: intended arrival to the guest IRQ handler's fetch —
+	// NIC ring residency plus any pIRQ/vIRQ delivery delay.
+	ReqStageRing = iota
+	// ReqStageSoftirq: hardirq + softirq processing up to socket delivery.
+	ReqStageSoftirq
+	// ReqStageSock: in the socket buffer until a server thread consumes it
+	// (includes the server's own queueing delay while busy).
+	ReqStageSock
+	// ReqStageService: consume to the dispatch of the reply op — the
+	// request's compute/lock/syscall service profile.
+	ReqStageService
+	// ReqStageReply: the reply's transmit-path cost — the End remainder.
+	ReqStageReply
+)
+
 // spanStageNames orders each kind's stages; index == the stage constants
 // above.
 var spanStageNames = [numSpanKinds][]string{
@@ -105,6 +124,7 @@ var spanStageNames = [numSpanKinds][]string{
 	SpanDiskIO:       {"queue_wait", "service"},
 	SpanNetRx:        {"ring_wait", "softirq", "sock_wait"},
 	SpanRecover:      {"repair"},
+	SpanRequest:      {"ring_wait", "softirq", "sock_wait", "service", "reply"},
 }
 
 // spanFinalStage is the stage that absorbs the End remainder (time since the
@@ -117,6 +137,7 @@ var spanFinalStage = [numSpanKinds]uint8{
 	SpanDiskIO:       DiskStageService,
 	SpanNetRx:        NetStageSock,
 	SpanRecover:      RecoverStageRepair,
+	SpanRequest:      ReqStageReply,
 }
 
 // StageNames lists kind k's stage names in attribution order (nil for an

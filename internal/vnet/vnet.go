@@ -21,20 +21,49 @@ import (
 // DefaultRingSize is the RX descriptor ring size (e1000 default 256).
 const DefaultRingSize = 256
 
-// NIC is a virtual network interface attached to one domain. It implements
-// guest.NetDevice.
-type NIC struct {
-	h    *hv.Hypervisor
-	dom  *hv.Domain
-	ring []guest.Packet
-	cap  int
+// DefaultIRQReassert is the interrupt-moderation re-assert interval: while
+// admitted packets sit unfetched, the NIC re-raises its physical IRQ at
+// this period (the hardware rx-usecs moderation timer). Without it the
+// coalescing latch is purely edge-triggered, and a guest preempted between
+// the IRQ's delivery and its softirq Fetch leaves every later arrival
+// silently coalesced behind a latch nobody will clear — the hypervisor
+// never sees another pIRQ for the backlog, so IRQ-triggered acceleration
+// (core.Controller) has no edge to act on until the guest's next credit
+// slice, tens of milliseconds away.
+const DefaultIRQReassert = 100 * simtime.Microsecond
 
-	irqRaised bool // NAPI-style coalescing: one IRQ until the ring drains
+// NIC is a virtual network interface attached to one domain. It implements
+// guest.NetDevice. The RX ring is a circular buffer (growing amortized up
+// to its fixed capacity) drained into a reusable scratch slice, so the
+// softirq-path Fetch is allocation-free at steady state.
+type NIC struct {
+	h   *hv.Hypervisor
+	dom *hv.Domain
+
+	// RX ring: a circular window over buf. head indexes the oldest packet,
+	// n is the occupancy; buf doubles under admission pressure until it
+	// reaches ringCap, so a huge configured capacity costs nothing unless
+	// the ring actually backs up that far.
+	buf     []guest.Packet
+	head    int
+	n       int
+	ringCap int
+
+	// out is Fetch's reusable scratch. The returned batch is only valid
+	// until the next Fetch, which is safe because one NIC's softirq
+	// handlers are serialized: every net pIRQ routes to the domain's single
+	// IRQVCPU, so a batch is fully delivered before the next fetch starts.
+	out []guest.Packet
+
+	irqRaised  bool // NAPI-style coalescing: one IRQ until the ring drains
+	reassert   simtime.Duration
+	reassertEv *simtime.Event
 
 	RxPackets uint64
 	RxDrops   uint64
 	TxBytes   uint64
 	IRQs      uint64
+	Reasserts uint64 // IRQs re-raised by the moderation timer
 }
 
 // NewNIC creates a NIC for dom with the given RX ring capacity
@@ -43,20 +72,24 @@ func NewNIC(h *hv.Hypervisor, dom *hv.Domain, ringCap int) *NIC {
 	if ringCap <= 0 {
 		ringCap = DefaultRingSize
 	}
-	return &NIC{h: h, dom: dom, cap: ringCap}
+	return &NIC{h: h, dom: dom, ringCap: ringCap, reassert: DefaultIRQReassert}
 }
 
+// SetIRQReassert overrides the interrupt-moderation re-assert interval.
+// d <= 0 disables re-assertion (pure edge-triggered coalescing).
+func (n *NIC) SetIRQReassert(d simtime.Duration) { n.reassert = d }
+
 // RingLen returns the current RX ring occupancy.
-func (n *NIC) RingLen() int { return len(n.ring) }
+func (n *NIC) RingLen() int { return n.n }
 
 // Rx delivers one packet from the wire into the RX ring, raising a
 // physical IRQ unless one is already outstanding. A full ring drops the
 // packet (tail drop), which is how sustained guest scheduling delays turn
-// into UDP loss.
-func (n *NIC) Rx(p guest.Packet) {
-	if len(n.ring) >= n.cap {
+// into UDP loss; Rx reports false so the sender can account the drop.
+func (n *NIC) Rx(p guest.Packet) bool {
+	if n.n >= n.ringCap {
 		n.RxDrops++
-		return
+		return false
 	}
 	if o := n.h.Obs; o != nil {
 		// The net_rx span opens at ring admission and rides the packet to
@@ -64,26 +97,86 @@ func (n *NIC) Rx(p guest.Packet) {
 		// guest cancels it if the packet is dropped for want of a listener.
 		p.Span = o.Begin(obs.SpanNetRx, int16(n.dom.ID), int16(n.dom.IRQVCPU), p.Seq, n.h.Clock.Now())
 	}
-	n.ring = append(n.ring, p)
+	if n.n == len(n.buf) {
+		n.grow()
+	}
+	n.buf[(n.head+n.n)%len(n.buf)] = p
+	n.n++
 	n.RxPackets++
 	if !n.irqRaised {
 		n.irqRaised = true
 		n.IRQs++
 		n.h.InjectPIRQ(n.dom, hv.VecNet, 0)
+	} else {
+		// IRQ already signaled for this backlog: coalesce, but keep the
+		// moderation timer armed so an unserviced ring re-asserts.
+		n.armReassert()
 	}
+	return true
+}
+
+// armReassert schedules the moderation re-assert if not already pending.
+func (n *NIC) armReassert() {
+	if n.reassert <= 0 || n.reassertEv != nil {
+		return
+	}
+	n.reassertEv = n.h.Clock.After(n.reassert, n.fireReassert)
+}
+
+// fireReassert re-raises the physical IRQ if the backlog is still
+// unserviced, and re-arms so a long guest stall keeps producing edges.
+func (n *NIC) fireReassert() {
+	n.reassertEv = nil
+	if n.n == 0 || !n.irqRaised {
+		return // ring drained since arming; nothing to re-assert
+	}
+	n.IRQs++
+	n.Reasserts++
+	n.h.InjectPIRQ(n.dom, hv.VecNet, 0)
+	n.armReassert()
+}
+
+// grow doubles the circular buffer (bounded by the ring capacity),
+// unwrapping the occupied window to the front.
+func (n *NIC) grow() {
+	size := 2 * len(n.buf)
+	if size == 0 {
+		size = 64
+	}
+	if size > n.ringCap {
+		size = n.ringCap
+	}
+	nb := make([]guest.Packet, size)
+	for i := 0; i < n.n; i++ {
+		nb[i] = n.buf[(n.head+i)%len(n.buf)]
+	}
+	n.buf = nb
+	n.head = 0
 }
 
 // Fetch implements guest.NetDevice: the softIRQ handler drains up to max
 // packets. If packets remain, the IRQ is immediately re-raised (NAPI
-// re-poll); otherwise the coalescing latch clears.
+// re-poll); otherwise the coalescing latch clears. The returned slice is
+// reused by the next Fetch (see NIC.out) and performs no allocation at
+// steady state.
 func (n *NIC) Fetch(max int) []guest.Packet {
-	var out []guest.Packet
-	if len(n.ring) <= max {
-		out = n.ring
-		n.ring = nil
-	} else {
-		out = append(out, n.ring[:max]...)
-		n.ring = append([]guest.Packet(nil), n.ring[max:]...)
+	k := n.n
+	if k > max {
+		k = max
+	}
+	if cap(n.out) < k {
+		n.out = make([]guest.Packet, 0, len(n.buf))
+	}
+	out := n.out[:k]
+	if k > 0 {
+		first := len(n.buf) - n.head
+		if first > k {
+			first = k
+		}
+		copy(out[:first], n.buf[n.head:n.head+first])
+		copy(out[first:], n.buf[:k-first])
+		n.head = (n.head + k) % len(n.buf)
+		n.n -= k
 	}
 	if o := n.h.Obs; o != nil {
 		// The fetched packets leave the ring: their wait so far was ring
@@ -91,9 +184,10 @@ func (n *NIC) Fetch(max int) []guest.Packet {
 		now := n.h.Clock.Now()
 		for _, p := range out {
 			o.Stage(p.Span, obs.NetStageRing, now)
+			o.Stage(p.ReqSpan, obs.ReqStageRing, now)
 		}
 	}
-	if len(n.ring) > 0 {
+	if n.n > 0 {
 		n.IRQs++
 		n.h.InjectPIRQ(n.dom, hv.VecNet, 0)
 	} else {
@@ -126,9 +220,11 @@ type UDPFlow struct {
 
 	seq       uint64
 	sendEvent *simtime.Event
+	startedAt simtime.Time
 	stopped   bool
 	Jitter    metrics.Jitter
 	SentBytes uint64
+	Dropped   uint64 // tail-dropped at the full NIC ring
 	RxBytes   uint64
 	RxPackets uint64
 	firstRx   simtime.Time
@@ -169,6 +265,7 @@ func (f *UDPFlow) interval() simtime.Duration {
 
 // Start begins paced transmission until Stop (or forever).
 func (f *UDPFlow) Start() {
+	f.startedAt = f.clock.Now()
 	f.sendOne()
 }
 
@@ -178,7 +275,9 @@ func (f *UDPFlow) sendOne() {
 	}
 	f.seq++
 	f.SentBytes += uint64(f.PktBytes)
-	f.nic.Rx(guest.Packet{Seq: f.seq, Flow: f.ID, Bytes: f.PktBytes, SentAt: f.clock.Now()})
+	if !f.nic.Rx(guest.Packet{Seq: f.seq, Flow: f.ID, Bytes: f.PktBytes, SentAt: f.clock.Now()}) {
+		f.Dropped++
+	}
 	f.sendEvent = f.clock.After(f.interval(), f.sendOne)
 }
 
@@ -192,20 +291,34 @@ func (f *UDPFlow) Stop() {
 }
 
 // GoodputBps returns the application-level receive rate over the window
-// observed between the first and last consumed packet.
+// observed between the first and last consumed packet. A single consumed
+// packet leaves a zero-width window; that degenerate case falls back to
+// the elapsed run time (Start to the consume), so a short run reports a
+// defined rate instead of 0.
 func (f *UDPFlow) GoodputBps() float64 {
-	if !f.haveRx || f.lastRx <= f.firstRx {
+	if !f.haveRx {
 		return 0
 	}
-	return float64(f.RxBytes*8) / (f.lastRx - f.firstRx).Seconds()
+	win := f.lastRx - f.firstRx
+	if win <= 0 {
+		win = f.lastRx - f.startedAt
+	}
+	if win <= 0 {
+		return 0
+	}
+	return float64(f.RxBytes*8) / win.Seconds()
 }
 
-// LossRate returns the fraction of offered packets not consumed.
+// LossRate returns the fraction of offered packets actually lost — dropped
+// at the full NIC ring. Packets still in flight (ring-resident, mid-softirq
+// or queued in the socket, not yet consumed) are not loss, so a mid-run
+// sample agrees with the end-of-run read instead of over-counting by the
+// pipeline occupancy.
 func (f *UDPFlow) LossRate() float64 {
 	if f.seq == 0 {
 		return 0
 	}
-	return 1 - float64(f.RxPackets)/float64(f.seq)
+	return float64(f.Dropped) / float64(f.seq)
 }
 
 // ---------------------------------------------------------------------------
@@ -227,11 +340,12 @@ type TCPFlow struct {
 	LinkBps   int64
 	WireDelay simtime.Duration
 
-	seq      uint64
-	inflight int
-	nextTx   simtime.Time
-	stopped  bool
-	txQueued bool
+	seq       uint64
+	inflight  int
+	nextTx    simtime.Time
+	startedAt simtime.Time
+	stopped   bool
+	txQueued  bool
 
 	RxBytes   uint64
 	RxPackets uint64
@@ -277,7 +391,10 @@ func (f *TCPFlow) Attach(sock *guest.Socket) {
 }
 
 // Start opens the window.
-func (f *TCPFlow) Start() { f.pump() }
+func (f *TCPFlow) Start() {
+	f.startedAt = f.clock.Now()
+	f.pump()
+}
 
 // Stop halts the sender.
 func (f *TCPFlow) Stop() { f.stopped = true }
@@ -311,12 +428,20 @@ func (f *TCPFlow) pump() {
 	f.pump()
 }
 
-// GoodputBps returns the application-level receive rate.
+// GoodputBps returns the application-level receive rate. A single consumed
+// segment falls back to the elapsed run time, as in UDPFlow.GoodputBps.
 func (f *TCPFlow) GoodputBps() float64 {
-	if !f.haveRx || f.lastRx <= f.firstRx {
+	if !f.haveRx {
 		return 0
 	}
-	return float64(f.RxBytes*8) / (f.lastRx - f.firstRx).Seconds()
+	win := f.lastRx - f.firstRx
+	if win <= 0 {
+		win = f.lastRx - f.startedAt
+	}
+	if win <= 0 {
+		return 0
+	}
+	return float64(f.RxBytes*8) / win.Seconds()
 }
 
 func (f *TCPFlow) String() string {
