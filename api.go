@@ -455,6 +455,31 @@ type Telemetry struct {
 	Steals     uint64 `json:"steals"`
 	// FlightDumps counts flight-recorder triggers during the run.
 	FlightDumps int `json:"flight_dumps"`
+	// Decisions is the adaptive controller's retained decision audit trail
+	// (oldest first; a bounded ring) and DecisionCount its exact total
+	// including entries that aged out of the ring. Empty unless the
+	// scenario ran the dynamic controller.
+	Decisions     []ControllerDecision `json:"decisions,omitempty"`
+	DecisionCount uint64               `json:"decision_count,omitempty"`
+}
+
+// ControllerDecision is one Algorithm 1 sizing decision from the adaptive
+// controller's audit trail.
+type ControllerDecision struct {
+	TimeMs float64 `json:"t_ms"`
+	Epoch  uint64  `json:"epoch"`
+	// Reason is the decision path taken: "idle", "single", "ipi-search",
+	// "best-pick", "stability-skip" or "capacity-clamp".
+	Reason string `json:"reason"`
+	// MicroCores is the achieved pool size; Ceiling the live capacity
+	// bound the decision ran under (smaller than the configured maximum
+	// after pCPU hot-unplug).
+	MicroCores int `json:"micro_cores"`
+	Ceiling    int `json:"ceiling"`
+	// IPIs/PLEs/IRQs are the urgent-event counts of the classified sample.
+	IPIs uint64 `json:"ipis"`
+	PLEs uint64 `json:"ples"`
+	IRQs uint64 `json:"irqs"`
 }
 
 // Span returns the stats of one span kind (zero value if never observed).
@@ -666,6 +691,19 @@ func publicTelemetry(sum *obs.Summary) *Telemetry {
 		t.Dispatches += p.Dispatches
 		t.Steals += p.Steals
 	}
+	for _, d := range sum.Decisions {
+		t.Decisions = append(t.Decisions, ControllerDecision{
+			TimeMs:     float64(d.Time) / 1e6,
+			Epoch:      d.Epoch,
+			Reason:     d.Reason,
+			MicroCores: d.Chosen,
+			Ceiling:    d.Ceiling,
+			IPIs:       d.IPIs,
+			PLEs:       d.PLEs,
+			IRQs:       d.IRQs,
+		})
+	}
+	t.DecisionCount = sum.DecisionCount
 	return t
 }
 

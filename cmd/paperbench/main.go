@@ -66,6 +66,9 @@ func main() {
 			for _, line := range blameLines(s, r) {
 				fmt.Fprintln(os.Stderr, line)
 			}
+			for _, line := range decisionLines(s, r) {
+				fmt.Fprintln(os.Stderr, line)
+			}
 		})
 	}
 	if *traceOut != "" {
@@ -248,6 +251,30 @@ func telemetryLine(s experiment.Setup, r *experiment.Result) string {
 		fmt.Fprintf(&b, " | busiest p%d %.0f%%", id, 100*float64(busy)/float64(r.Duration))
 	}
 	return b.String()
+}
+
+// decisionLines renders the tail of the adaptive controller's decision
+// trail — when, which Algorithm 1 path fired, the size chosen and the
+// sample it was judged on. Empty for runs without a dynamic controller.
+func decisionLines(s experiment.Setup, r *experiment.Result) []string {
+	if r.DecisionCount == 0 {
+		return nil
+	}
+	names := make([]string, len(s.VMs))
+	for i, vm := range s.VMs {
+		names[i] = vm.Name
+	}
+	decs := r.Decisions
+	if len(decs) > 4 {
+		decs = decs[len(decs)-4:]
+	}
+	parts := make([]string, 0, len(decs))
+	for _, d := range decs {
+		parts = append(parts, fmt.Sprintf("t=%v %s→%d (ipi %d/ple %d/irq %d)",
+			simtime.Duration(d.Time), d.Reason, d.Chosen, d.Run.IPIs, d.Run.PLEs, d.Run.IRQs))
+	}
+	return []string{fmt.Sprintf("  decisions [%s] %d total: %s",
+		strings.Join(names, "+"), r.DecisionCount, strings.Join(parts, "; "))}
 }
 
 // demoScenario labels the fixed consolidation demo shared by -trace-out,

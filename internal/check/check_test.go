@@ -131,6 +131,48 @@ func TestInjectedStageSkewCaughtAndShrunk(t *testing.T) {
 	}
 }
 
+// TestInjectedDecisionSkewCaughtAndShrunk proves the controller audit law
+// has teeth: skewing one entry of the baseline decision log — without
+// touching any counter — must be caught by the bit-identical decision-log
+// comparison across the metamorphic relations and shrunk to a repro of at
+// most two domains.
+func TestInjectedDecisionSkewCaughtAndShrunk(t *testing.T) {
+	c := &Checker{mutate: func(r *experiment.Result) {
+		if len(r.Decisions) > 0 {
+			r.Decisions[len(r.Decisions)-1].Chosen++
+		}
+	}}
+	var sc Scenario
+	found := false
+	for seed := uint64(1); seed < 128 && !found; seed++ {
+		if s := Generate(seed); s.Mode == "dynamic" {
+			// Any dynamic scenario whose baseline run records at least one
+			// decision will do — the mutation is a no-op otherwise.
+			if c.Check(s) != nil {
+				sc, found = s, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no dynamic scenario with a non-empty decision log in 128 seeds")
+	}
+	err := c.Check(sc)
+	if err == nil {
+		t.Fatal("injected decision skew was not caught")
+	}
+	if !strings.Contains(err.Error(), "decision") {
+		t.Fatalf("error does not name the decision log: %v", err)
+	}
+	fails := func(s Scenario) bool { return c.Check(s) != nil }
+	shrunk := Shrink(sc, fails, 80)
+	if len(shrunk.VMs) > 2 {
+		t.Fatalf("shrunk repro still has %d domains, want <= 2", len(shrunk.VMs))
+	}
+	if !fails(shrunk) {
+		t.Fatal("shrunk scenario no longer reproduces the failure")
+	}
+}
+
 // TestInjectedRequestLeakCaught proves the request conservation law has
 // teeth: silently "losing" one request between the softirq and the socket
 // (Delivered bumped without a matching consume) must break the pipeline

@@ -238,6 +238,41 @@ func conservation(pr *experiment.PostRun, violationsAfter simtime.Time) error {
 		}
 	}
 
+	// Controller decision-trail structural laws: the retained ring never
+	// exceeds the exact total, timestamps and epochs are monotone (oldest
+	// first), and every decision's chosen size lies within the live
+	// capacity ceiling it recorded.
+	if uint64(len(pr.Result.Decisions)) > pr.Result.DecisionCount {
+		fail("decision log: %d retained entries exceed total %d",
+			len(pr.Result.Decisions), pr.Result.DecisionCount)
+	}
+	var lastDecT simtime.Time
+	var lastEpoch uint64
+	for i, d := range pr.Result.Decisions {
+		if d.Time < lastDecT || d.Epoch < lastEpoch {
+			fail("decision log: entry %d (t=%v epoch %d) precedes entry %d (t=%v epoch %d)",
+				i, d.Time, d.Epoch, i-1, lastDecT, lastEpoch)
+		}
+		lastDecT, lastEpoch = d.Time, d.Epoch
+		if d.Chosen < 0 || d.Chosen > d.Ceiling {
+			fail("decision log: entry %d (t=%v %s) chose %d micro cores outside [0, %d]",
+				i, d.Time, d.Reason, d.Chosen, d.Ceiling)
+		}
+	}
+
+	// Gauge-integral law: the controller's MicroGauge, stepped only at its
+	// own resizes (plus the capacity-change re-sync), must integrate to the
+	// hypervisor's independent micro-pool residency ledger, which accrues
+	// at every pool-membership mutation. Rivals and the recovery supervisor
+	// resize the pool directly through hv — bypassing the gauge by design —
+	// so the law only binds when neither is attached.
+	if ctrl := pr.Ctrl; ctrl != nil && pr.Setup.Rival == experiment.RivalNone && pr.Setup.Recovery == nil {
+		want := pr.HV.MicroCoreNs(pr.Now)
+		if got := int64(ctrl.MicroGauge.Integral(int64(pr.Now))); got != want {
+			fail("micro gauge integral %d core·ns != hv micro-pool residency %d core·ns", got, want)
+		}
+	}
+
 	late := 0
 	for i := range pr.Result.Violations {
 		if pr.Result.Violations[i].Time >= violationsAfter {

@@ -20,10 +20,13 @@ func Generate(seed uint64) Scenario {
 	sc.PCPUs = 2 + r.Intn(5)      // 2..6
 	sc.DurationMs = 10 + r.Intn(31) // 10..40 ms
 
-	switch r.Intn(3) {
-	case 0:
+	// Mode weights: 40% dynamic so the adaptive controller's decision paths
+	// (probe skip, stability skip, capacity clamp) and the controller
+	// conformance laws see real coverage in every suite run.
+	switch r.Intn(10) {
+	case 0, 1, 2:
 		sc.Mode = "off"
-	case 1:
+	case 3, 4, 5:
 		sc.Mode = "static"
 		sc.StaticCores = 1 + r.Intn(2)
 	default:
@@ -81,6 +84,25 @@ func Generate(seed uint64) Scenario {
 			f.LockStallFactor = 2 + 6*r.Float64()
 		}
 		sc.Faults = f
+	}
+	if sc.Mode == "dynamic" && r.Bool(0.4) {
+		// Harsh capacity loss for dynamic scenarios: permanently offline
+		// pCPUs (and optional hotplug storms) shrink the machine under the
+		// controller, exercising the search-ceiling clamp and the
+		// re-profile-on-capacity-change path. fault.New requires offline +
+		// permanent ≤ PCPUs−1 (pCPU 0 is never unplugged).
+		f := sc.Faults
+		if f == nil {
+			f = &FaultSpec{Seed: r.Uint64()}
+			sc.Faults = f
+		}
+		if room := sc.PCPUs - 1 - f.OfflinePCPUs; room >= 1 {
+			f.PermanentOffPCPUs = 1 + r.Intn(room)
+		}
+		if r.Bool(0.3) {
+			f.Storms = 1 + r.Intn(3)
+			f.StormLenMs = 1 + r.Intn(5)
+		}
 	}
 	return sc
 }

@@ -137,6 +137,12 @@ func diffResults(a, b *experiment.Result) error {
 	if !reflect.DeepEqual(a.Repairs, b.Repairs) {
 		return fmt.Errorf("repair logs differ (%d vs %d events)", len(a.Repairs), len(b.Repairs))
 	}
+	if a.DecisionCount != b.DecisionCount {
+		return fmt.Errorf("decision count %d != %d", a.DecisionCount, b.DecisionCount)
+	}
+	if !reflect.DeepEqual(a.Decisions, b.Decisions) {
+		return fmt.Errorf("decision logs differ (%d vs %d entries)", len(a.Decisions), len(b.Decisions))
+	}
 	if len(a.VMs) != len(b.VMs) {
 		return fmt.Errorf("VM count %d != %d", len(a.VMs), len(b.VMs))
 	}

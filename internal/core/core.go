@@ -15,6 +15,14 @@
 // exits, IPI waits, or device IRQs — and sizes the micro pool accordingly
 // (iterative search for IPI-dominant phases, a single core otherwise,
 // zero cores when the system is uncontended), re-evaluated every epoch.
+//
+// The decision loop is hardened beyond the paper's pseudocode: the
+// zero-core probe is skipped when the previous run phase was busy, the
+// iterative search is skipped while its winner has been stable for
+// Config.StabilityEpochs consecutive epochs, the search ceiling is clamped
+// to the live online-pCPU count (hot-unplug can shrink capacity mid-run),
+// and every sizing decision is recorded in a bounded audit ring
+// (Decisions) that flows into telemetry, flight dumps and Chrome traces.
 package core
 
 import (
@@ -61,6 +69,17 @@ type Config struct {
 	ProfileInterval simtime.Duration // Algorithm 1 profile phase (10 ms)
 	EpochInterval   simtime.Duration // Algorithm 1 run phase (1000 ms)
 
+	// StabilityEpochs is the search hysteresis: once this many consecutive
+	// epochs settle on the same winning pool size, the iterative search is
+	// skipped and the stable size reinstated directly until the streak
+	// breaks (0 means the default of 3; negative disables the skip).
+	StabilityEpochs int
+
+	// DecisionDepth bounds the decision audit ring: the last DecisionDepth
+	// sizing decisions are retained, with their profiling samples (0 means
+	// the default of 256).
+	DecisionDepth int
+
 	// AccelerateIO migrates preempted recipients of relayed vIRQs and
 	// reschedule vIPIs (paper §4.2, Figure 2) — the mixed-behaviour-vCPU
 	// fix that BOOSTING cannot provide.
@@ -84,10 +103,17 @@ func DefaultConfig() Config {
 		MaxMicroCores:    3,
 		ProfileInterval:  10 * simtime.Millisecond,
 		EpochInterval:    1000 * simtime.Millisecond,
+		StabilityEpochs:  defaultStabilityEpochs,
 		AccelerateIO:     true,
 		PreciseSelection: true,
 	}
 }
+
+// Defaults applied by Attach when the corresponding Config field is zero.
+const (
+	defaultStabilityEpochs = 3
+	defaultDecisionDepth   = 256
+)
 
 // StaticConfig returns a static configuration with n micro cores.
 func StaticConfig(n int) Config {
@@ -107,6 +133,70 @@ type eventStats struct {
 func (e eventStats) zero() bool { return e.ipis == 0 && e.ples == 0 && e.irqs == 0 }
 
 func (e eventStats) total() uint64 { return e.ipis + e.ples + e.irqs }
+
+// DecisionReason classifies why the controller chose a pool size.
+type DecisionReason uint8
+
+// Decision reasons (Algorithm 1 paths plus the v2 hardening paths).
+const (
+	// DecisionIdle: no urgent events in the classified sample — zero cores.
+	DecisionIdle DecisionReason = iota
+	// DecisionSingle: PLE- or IRQ-dominant phase — early-terminate at one.
+	DecisionSingle
+	// DecisionIPISearch: IPI-dominant phase — the iterative search begins.
+	DecisionIPISearch
+	// DecisionBestPick: the search finished and the profiled minimum won.
+	DecisionBestPick
+	// DecisionStabilitySkip: the search was skipped because its winner has
+	// been stable for Config.StabilityEpochs consecutive epochs.
+	DecisionStabilitySkip
+	// DecisionCapacityClamp: the live online-pCPU ceiling, not the profile,
+	// bounded the answer (capacity loss mid-run).
+	DecisionCapacityClamp
+)
+
+// String names the reason (matches the flight-dump and trace encodings).
+func (r DecisionReason) String() string {
+	switch r {
+	case DecisionIdle:
+		return "idle"
+	case DecisionSingle:
+		return "single"
+	case DecisionIPISearch:
+		return "ipi-search"
+	case DecisionBestPick:
+		return "best-pick"
+	case DecisionStabilitySkip:
+		return "stability-skip"
+	case DecisionCapacityClamp:
+		return "capacity-clamp"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// Sample is one profiling window's urgent-event counts.
+type Sample struct {
+	IPIs uint64
+	PLEs uint64
+	IRQs uint64
+}
+
+func sampleOf(e eventStats) Sample { return Sample{IPIs: e.ipis, PLEs: e.ples, IRQs: e.irqs} }
+
+// DecisionEvent is one entry of the controller's audit trail: a sizing
+// decision with the evidence it was based on. Events carry no domain
+// identifiers, so the trail is bit-identical under domain relabelling —
+// the conformance harness checks exactly that.
+type DecisionEvent struct {
+	Time    simtime.Time   // when the decision was taken
+	Epoch   uint64         // decision round (1-based)
+	Reason  DecisionReason // which Algorithm 1 path fired
+	Chosen  int            // achieved micro pool size
+	Ceiling int            // live search ceiling at decision time
+	Run     Sample         // the classified sample (run phase or probe)
+	Probes  []Sample       // per-size search samples [0..Ceiling], best-pick only
+}
 
 // Controller is the micro-sliced-core mechanism.
 type Controller struct {
@@ -137,6 +227,18 @@ type Controller struct {
 	lastSnap    map[string]uint64
 	started     bool
 
+	// Hysteresis and fault-awareness (controller v2).
+	epoch      uint64         // decision rounds begun
+	searchCeil int            // live search ceiling of the current round
+	stableSize int            // winning size of the last settled search
+	stableRun  int            // consecutive epochs settling on stableSize
+	stepEv     *simtime.Event // pending adaptive timer (nil while none)
+
+	// Decision audit trail: a bounded ring plus the exact total (the ring
+	// drops the oldest entries past Config.DecisionDepth).
+	decisions     []DecisionEvent
+	decisionTotal uint64
+
 	hot ctrlHot // interned counters for the per-yield/per-relay hooks
 }
 
@@ -158,6 +260,12 @@ type ctrlHot struct {
 func Attach(h *hv.Hypervisor, cfg Config) (*Controller, error) {
 	if cfg.MaxMicroCores <= 0 {
 		cfg.MaxMicroCores = 1
+	}
+	if cfg.StabilityEpochs == 0 {
+		cfg.StabilityEpochs = defaultStabilityEpochs
+	}
+	if cfg.DecisionDepth <= 0 {
+		cfg.DecisionDepth = defaultDecisionDepth
 	}
 	c := &Controller{
 		h:           h,
@@ -194,6 +302,9 @@ func Attach(h *hv.Hypervisor, cfg Config) (*Controller, error) {
 		h.Hooks.OnVIRQRelay = c.onVIRQRelay
 		h.Hooks.OnVIPIRelay = c.onVIPIRelay
 	}
+	// Hot-unplug can evict micro pCPUs behind the controller's back: the
+	// gauge must re-sync in every active mode, and dynamic mode re-profiles.
+	h.Hooks.OnCapacityChange = c.onCapacityChange
 	return c, nil
 }
 
@@ -204,13 +315,19 @@ func (c *Controller) Start() {
 		panic("core: Start called twice")
 	}
 	c.started = true
+	// Seed the gauge with the live pool size in every mode, so MicroAvg
+	// integrates from Start instead of from the first resize (a dynamic run
+	// shorter than one profile interval used to report 0).
+	c.numMicro = c.h.MicroCount()
+	c.MicroGauge.Set(int64(c.h.Clock.Now()), float64(c.numMicro))
 	switch c.cfg.Mode {
 	case ModeStatic:
 		n := c.h.SetMicroCount(c.cfg.StaticCores)
+		c.numMicro = n
 		c.MicroGauge.Set(int64(c.h.Clock.Now()), float64(n))
 	case ModeDynamic:
 		c.lastSnap = c.snapshot()
-		c.h.Clock.After(c.cfg.ProfileInterval, c.adaptiveStep)
+		c.stepEv = c.h.Clock.After(c.cfg.ProfileInterval, c.adaptiveStep)
 	}
 }
 
@@ -385,67 +502,214 @@ func (c *Controller) setMicro(n int) {
 	c.MicroGauge.Set(int64(c.h.Clock.Now()), float64(c.numMicro))
 }
 
-// adaptiveStep is the paper's AdaptiveMicroSlicedCores procedure: each
-// invocation inspects the urgent-event statistics gathered since the last
-// one and decides the pool size and the next timer interval.
+// adaptiveStep is the paper's AdaptiveMicroSlicedCores procedure, hardened:
+// each invocation inspects the urgent-event statistics gathered since the
+// last one and decides the pool size and the next timer interval. The
+// zero-core probe is skipped when the last run phase was busy (the paper's
+// CheckUrgentEvents history consultation — stripping all acceleration for
+// 10 ms under sustained load learns nothing), the search ceiling tracks
+// the live online-pCPU count, and every decision enters the audit ring.
 func (c *Controller) adaptiveStep() {
+	c.stepEv = nil // the firing event's handle is dead (simtime recycles it)
 	interval := c.cfg.ProfileInterval
 	if !c.profileMode {
-		// Initialize the profiling phases. The run-phase event history is
-		// kept: the 10 ms zero-core probe can land in a quiet window even
-		// though the epoch as a whole was busy (CheckUrgentEvents of the
-		// paper's Algorithm 1 consults the urEvents history for this).
+		// A run phase ended: begin a new decision round.
+		c.epoch++
 		c.runDelta = c.delta()
-		c.setMicro(0)
-		c.profileMode = true
-		c.h.Clock.After(interval, c.adaptiveStep)
+		c.beginRound()
+		if !c.runDelta.zero() {
+			// Busy epoch: classify straight from the run-phase history
+			// instead of probing at zero cores.
+			c.Counters.Counter("adaptive.probe_skip").Inc()
+			interval = c.decide(c.runDelta)
+		} else {
+			c.setMicro(0)
+			c.profileMode = true
+		}
+		c.stepEv = c.h.Clock.After(interval, c.adaptiveStep)
 		return
 	}
 	// Gather the statistics of urgent events for numMicro cores.
 	cur := c.delta()
-	c.urEvents[c.numMicro] = cur
+	if c.numMicro < len(c.urEvents) {
+		c.urEvents[c.numMicro] = cur
+	}
 	switch {
 	case c.numMicro == 0:
 		if cur.zero() {
 			cur = c.runDelta // fall back to the run-phase history
 		}
-		if cur.zero() {
-			// No urgent events occurred: stay at zero for an epoch.
-			c.Counters.Counter("adaptive.idle").Inc()
-			c.profileMode = false
-			interval = c.cfg.EpochInterval
-			break
-		}
-		c.setMicro(1)
-		if cur.ipis > cur.ples || cur.ipis > cur.irqs {
-			// IPI-dominant: keep profiling with growing pool sizes.
-			c.Counters.Counter("adaptive.ipi_search").Inc()
-		} else {
-			// Early termination for IRQ or PLE dominant cases: one core.
-			c.Counters.Counter("adaptive.single").Inc()
-			c.profileMode = false
-			interval = c.cfg.EpochInterval
-		}
-	case c.numMicro < c.cfg.MaxMicroCores:
+		interval = c.decide(cur)
+	case c.numMicro < c.searchCeil:
 		c.setMicro(c.numMicro + 1)
 	default:
-		c.setMicro(c.findBestMicroCount())
+		best := c.findBestMicroCount()
+		c.setMicro(best)
+		reason := DecisionBestPick
+		if c.searchCeil < c.cfg.MaxMicroCores && best == c.searchCeil {
+			// The live-capacity clamp, not the profile, bounded the answer.
+			reason = DecisionCapacityClamp
+			c.Counters.Counter("adaptive.capacity_clamp").Inc()
+		}
 		c.Counters.Counter("adaptive.best_pick").Inc()
+		c.record(reason, c.runDelta, c.probes())
+		c.noteStable(c.numMicro)
 		c.profileMode = false
 		interval = c.cfg.EpochInterval
 	}
-	c.h.Clock.After(interval, c.adaptiveStep)
+	c.stepEv = c.h.Clock.After(interval, c.adaptiveStep)
 }
 
-// findBestMicroCount picks the profiled configuration (1..max) with the
-// fewest urgent events.
+// decide classifies one busy/idle sample and settles the epoch — or enters
+// the iterative search. It installs the chosen pool size, records the
+// decision, and returns the next timer interval.
+func (c *Controller) decide(cur eventStats) simtime.Duration {
+	switch {
+	case cur.zero():
+		// No urgent events occurred: stay at zero for an epoch.
+		c.setMicro(0)
+		c.Counters.Counter("adaptive.idle").Inc()
+		c.record(DecisionIdle, cur, nil)
+		c.stableRun = 0
+	case c.searchCeil < 1:
+		// Busy, but capacity loss left no pCPU to spare for the micro pool.
+		c.setMicro(0)
+		c.Counters.Counter("adaptive.capacity_clamp").Inc()
+		c.record(DecisionCapacityClamp, cur, nil)
+		c.stableRun = 0
+	case cur.ipis >= cur.ples && cur.ipis >= cur.irqs:
+		// IPI-dominant: pool size matters (TLB shootdowns fan out across
+		// sibling vCPUs), so search — unless the winner has been stable.
+		if c.cfg.StabilityEpochs > 0 && c.stableRun >= c.cfg.StabilityEpochs &&
+			c.stableSize >= 1 && c.stableSize <= c.searchCeil {
+			c.setMicro(c.stableSize)
+			c.Counters.Counter("adaptive.stability_skip").Inc()
+			c.record(DecisionStabilitySkip, cur, nil)
+			c.noteStable(c.numMicro)
+			break
+		}
+		c.setMicro(1)
+		c.Counters.Counter("adaptive.ipi_search").Inc()
+		c.record(DecisionIPISearch, cur, nil)
+		c.profileMode = true
+		return c.cfg.ProfileInterval
+	default:
+		// Early termination for IRQ- or PLE-dominant cases: one core.
+		c.setMicro(1)
+		c.Counters.Counter("adaptive.single").Inc()
+		c.record(DecisionSingle, cur, nil)
+		c.stableRun = 0
+	}
+	c.profileMode = false
+	return c.cfg.EpochInterval
+}
+
+// beginRound starts a decision round: the profiling history is zeroed (a
+// clamped round must never read samples for pool sizes that no longer
+// exist) and the search ceiling is re-derived from the live online-pCPU
+// count — GrowMicro always keeps one normal-pool pCPU, so at most
+// online−1 cores can be micro-sliced.
+func (c *Controller) beginRound() {
+	for i := range c.urEvents {
+		c.urEvents[i] = eventStats{}
+	}
+	ceil := c.cfg.MaxMicroCores
+	if lim := c.h.OnlinePCPUs() - 1; lim < ceil {
+		ceil = lim
+	}
+	if ceil < 0 {
+		ceil = 0
+	}
+	c.searchCeil = ceil
+}
+
+// noteStable advances the stable-winner streak after a settled search.
+func (c *Controller) noteStable(n int) {
+	if n == c.stableSize {
+		c.stableRun++
+	} else {
+		c.stableSize, c.stableRun = n, 1
+	}
+}
+
+// onCapacityChange is the hv hotplug notification. In every active mode it
+// re-syncs the gauge — offlining a micro pCPU shrinks the pool behind the
+// controller's back — and in dynamic mode it abandons the current phase
+// and re-profiles immediately: samples taken under the old capacity must
+// not drive the next decision.
+func (c *Controller) onCapacityChange(int) {
+	if !c.started {
+		return
+	}
+	c.numMicro = c.h.MicroCount()
+	c.MicroGauge.Set(int64(c.h.Clock.Now()), float64(c.numMicro))
+	if c.cfg.Mode != ModeDynamic || c.stepEv == nil {
+		return
+	}
+	c.Counters.Counter("adaptive.reprofile").Inc()
+	c.stableRun = 0
+	c.profileMode = false
+	if c.stepEv.Pending() {
+		c.stepEv.Cancel()
+	}
+	c.stepEv = c.h.Clock.After(0, c.adaptiveStep)
+}
+
+// findBestMicroCount picks the profiled configuration (1..searchCeil) with
+// the fewest urgent events, preferring the smaller pool on equal totals.
 func (c *Controller) findBestMicroCount() int {
 	best := 1
 	bestTotal := c.urEvents[1].total()
-	for n := 2; n <= c.cfg.MaxMicroCores; n++ {
+	for n := 2; n <= c.searchCeil && n < len(c.urEvents); n++ {
 		if tot := c.urEvents[n].total(); tot < bestTotal {
 			best, bestTotal = n, tot
 		}
 	}
 	return best
 }
+
+// probes snapshots the per-size samples [0..searchCeil] of the finished
+// search for the decision record.
+func (c *Controller) probes() []Sample {
+	out := make([]Sample, c.searchCeil+1)
+	for i := range out {
+		out[i] = sampleOf(c.urEvents[i])
+	}
+	return out
+}
+
+// record appends one decision to the bounded audit ring.
+func (c *Controller) record(reason DecisionReason, run eventStats, probes []Sample) {
+	ev := DecisionEvent{
+		Time:    c.h.Clock.Now(),
+		Epoch:   c.epoch,
+		Reason:  reason,
+		Chosen:  c.numMicro,
+		Ceiling: c.searchCeil,
+		Run:     sampleOf(run),
+		Probes:  probes,
+	}
+	if len(c.decisions) < c.cfg.DecisionDepth {
+		c.decisions = append(c.decisions, ev)
+	} else {
+		c.decisions[int(c.decisionTotal)%c.cfg.DecisionDepth] = ev
+	}
+	c.decisionTotal++
+}
+
+// Decisions returns the retained audit trail, oldest first.
+func (c *Controller) Decisions() []DecisionEvent {
+	out := make([]DecisionEvent, len(c.decisions))
+	if len(c.decisions) < c.cfg.DecisionDepth {
+		copy(out, c.decisions)
+		return out
+	}
+	start := int(c.decisionTotal) % c.cfg.DecisionDepth
+	n := copy(out, c.decisions[start:])
+	copy(out[n:], c.decisions[:start])
+	return out
+}
+
+// DecisionTotal returns the exact number of decisions taken, including any
+// that aged out of the retained ring.
+func (c *Controller) DecisionTotal() uint64 { return c.decisionTotal }

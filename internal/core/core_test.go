@@ -376,3 +376,276 @@ func TestModeString(t *testing.T) {
 		}
 	}
 }
+
+// counterWorld builds a guest-free world whose urgent-event counters are
+// driven by hand: tests script one profiling sample per timer window by
+// bumping the hypervisor counters the controller snapshots, making every
+// Algorithm 1 branch reachable deterministically.
+func counterWorld(t *testing.T, pcpus int, cfg Config) (*simtime.Clock, *hv.Hypervisor, *Controller) {
+	t.Helper()
+	clock := simtime.NewClock()
+	hcfg := hv.DefaultConfig()
+	hcfg.PCPUs = pcpus
+	h := hv.New(clock, hcfg)
+	c, err := Attach(h, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	c.Start()
+	return clock, h, c
+}
+
+func bump(h *hv.Hypervisor, name string, n uint64) {
+	h.Counters.Counter(name).Add(n)
+}
+
+func lastDecision(t *testing.T, c *Controller) DecisionEvent {
+	t.Helper()
+	decs := c.Decisions()
+	if len(decs) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	return decs[len(decs)-1]
+}
+
+// TestPLEDominantEarlyTerminates is the regression for the dominance
+// misclassification: with ples=100, ipis=40, irqs=0 the phase is
+// PLE-dominant, but the old `ipis > ples || ipis > irqs` test saw
+// 40 > 0 and entered the multi-epoch iterative search. It must
+// early-terminate at one core via the single-core fast path.
+func TestPLEDominantEarlyTerminates(t *testing.T) {
+	clock, h, c := counterWorld(t, 6, DefaultConfig())
+	bump(h, "yield.ple", 100)
+	bump(h, "yield.ipi", 40)
+	clock.RunUntil(11 * simtime.Millisecond)
+	if got := c.Counters.Value("adaptive.ipi_search"); got != 0 {
+		t.Fatalf("PLE-dominant phase entered the IPI search %d times", got)
+	}
+	if got := c.Counters.Value("adaptive.single"); got != 1 {
+		t.Fatalf("adaptive.single = %d, want 1", got)
+	}
+	if h.MicroCount() != 1 {
+		t.Fatalf("micro count %d, want 1", h.MicroCount())
+	}
+	if d := lastDecision(t, c); d.Reason != DecisionSingle || d.Chosen != 1 {
+		t.Fatalf("decision %s→%d, want single→1", d.Reason, d.Chosen)
+	}
+}
+
+// TestMicroGaugeSeededAtStart is the regression for the MicroAvg
+// accounting gap: a dynamic run shorter than one profile interval used to
+// report 0 because Start never seeded the gauge with the live pool size.
+func TestMicroGaugeSeededAtStart(t *testing.T) {
+	clock := simtime.NewClock()
+	hcfg := hv.DefaultConfig()
+	hcfg.PCPUs = 4
+	h := hv.New(clock, hcfg)
+	c, err := Attach(h, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Start()
+	h.SetMicroCount(1) // the pool exists before the controller starts
+	c.Start()
+	clock.RunUntil(5 * simtime.Millisecond) // shorter than ProfileInterval
+	if avg := c.MicroGauge.TimeAverage(int64(clock.Now())); avg != 1.0 {
+		t.Fatalf("MicroAvg %v over a 5 ms run with a 1-core pool, want 1.0", avg)
+	}
+}
+
+// TestFindBestMicroCountTable drives the search arithmetic directly: the
+// minimum-urgent-event size must win, ties must prefer the smaller pool,
+// and the live ceiling must exclude sizes beyond it.
+func TestFindBestMicroCountTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		totals []uint64 // urgent events per size 1..len
+		ceil   int
+		want   int
+	}{
+		{"min in the middle", []uint64{50, 10, 30}, 3, 2},
+		{"min at the top", []uint64{50, 30, 10}, 3, 3},
+		{"tie prefers smaller", []uint64{20, 20, 40}, 3, 1},
+		{"all equal prefers one", []uint64{15, 15, 15}, 3, 1},
+		{"ceiling excludes stale min", []uint64{50, 30, 10}, 2, 2},
+	}
+	for _, tc := range cases {
+		c := &Controller{
+			cfg:        Config{MaxMicroCores: len(tc.totals)},
+			urEvents:   make([]eventStats, len(tc.totals)+1),
+			searchCeil: tc.ceil,
+		}
+		for i, tot := range tc.totals {
+			c.urEvents[i+1] = eventStats{ipis: tot}
+		}
+		if got := c.findBestMicroCount(); got != tc.want {
+			t.Errorf("%s: picked %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestAdaptiveSearchWalksAllSizes scripts a full iterative search end to
+// end: the controller must profile sizes 1..max in successive windows and
+// settle on the size whose window saw the fewest urgent events.
+func TestAdaptiveSearchWalksAllSizes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMicroCores = 3
+	clock, h, c := counterWorld(t, 6, cfg)
+	bump(h, "yield.ipi", 100) // busy, IPI-dominant run phase → search
+	clock.RunUntil(10 * simtime.Millisecond)
+	// One scripted sample per search window: sizes 1, 2, 3 see 50, 10, 30.
+	for _, n := range []uint64{50, 10, 30} {
+		bump(h, "yield.ipi", n)
+		clock.RunUntil(clock.Now() + 10*simtime.Millisecond)
+	}
+	if got := c.Counters.Value("adaptive.best_pick"); got != 1 {
+		t.Fatalf("adaptive.best_pick = %d, want 1 (counters: %s)", got, c.Counters)
+	}
+	if h.MicroCount() != 2 {
+		t.Fatalf("settled on %d micro cores, want 2 (the minimum-event size)", h.MicroCount())
+	}
+	d := lastDecision(t, c)
+	if d.Reason != DecisionBestPick || d.Chosen != 2 || d.Ceiling != 3 {
+		t.Fatalf("decision %s→%d (ceiling %d), want best-pick→2 (ceiling 3)", d.Reason, d.Chosen, d.Ceiling)
+	}
+	if len(d.Probes) != 4 || d.Probes[2].IPIs != 10 {
+		t.Fatalf("decision probes %+v, want 4 samples with Probes[2].IPIs=10", d.Probes)
+	}
+}
+
+// TestCapacityClampAfterHotplug: hot-unplugging pCPUs mid-run must
+// immediately re-profile under a clamped ceiling, discard the stale sample
+// history (the old winner no longer exists), and record the clamp.
+func TestCapacityClampAfterHotplug(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMicroCores = 3
+	clock, h, c := counterWorld(t, 5, cfg)
+	// First search: size 3 wins (samples 50, 30, 10 for sizes 1, 2, 3).
+	bump(h, "yield.ipi", 100)
+	clock.RunUntil(10 * simtime.Millisecond)
+	for _, n := range []uint64{50, 30, 10} {
+		bump(h, "yield.ipi", n)
+		clock.RunUntil(clock.Now() + 10*simtime.Millisecond)
+	}
+	if h.MicroCount() != 3 {
+		t.Fatalf("first search settled on %d micro cores, want 3", h.MicroCount())
+	}
+	// Capacity loss: two pCPUs die. Online drops to 3, so at most 2 cores
+	// can be micro-sliced; the stale size-3 sample (the old minimum) must
+	// not drive the next pick.
+	if err := h.OfflinePCPU(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.OfflinePCPU(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Counters.Value("adaptive.reprofile"); got != 2 {
+		t.Fatalf("adaptive.reprofile = %d, want 2 (one per hotplug)", got)
+	}
+	// The immediate re-profile round: busy run delta → clamped search.
+	bump(h, "yield.ipi", 100)
+	clock.RunUntil(clock.Now() + simtime.Millisecond)
+	for _, n := range []uint64{40, 20} {
+		bump(h, "yield.ipi", n)
+		clock.RunUntil(clock.Now() + 10*simtime.Millisecond)
+	}
+	if h.MicroCount() != 2 {
+		t.Fatalf("clamped search settled on %d micro cores, want 2", h.MicroCount())
+	}
+	d := lastDecision(t, c)
+	if d.Reason != DecisionCapacityClamp || d.Chosen != 2 || d.Ceiling != 2 {
+		t.Fatalf("decision %s→%d (ceiling %d), want capacity-clamp→2 (ceiling 2)", d.Reason, d.Chosen, d.Ceiling)
+	}
+	if c.Counters.Value("adaptive.capacity_clamp") == 0 {
+		t.Fatal("capacity clamp never counted")
+	}
+}
+
+// TestZeroProbeSkippedWhenBusy: under sustained load the controller must
+// not strip all acceleration for a 10 ms probe at every epoch boundary.
+func TestZeroProbeSkippedWhenBusy(t *testing.T) {
+	clock, h, c := counterWorld(t, 4, DefaultConfig())
+	bump(h, "yield.ple", 50)
+	clock.RunUntil(11 * simtime.Millisecond)
+	if h.MicroCount() != 1 {
+		t.Fatalf("busy epoch settled on %d micro cores, want 1", h.MicroCount())
+	}
+	bump(h, "yield.ple", 50)
+	// Just past the second epoch boundary (10 ms + 1000 ms): the old
+	// controller would be mid-probe at zero cores here.
+	clock.RunUntil(1012 * simtime.Millisecond)
+	if h.MicroCount() != 1 {
+		t.Fatalf("pool stripped to %d cores at the epoch boundary, want 1 (probe skipped)", h.MicroCount())
+	}
+	if got := c.Counters.Value("adaptive.probe_skip"); got != 2 {
+		t.Fatalf("adaptive.probe_skip = %d, want 2", got)
+	}
+}
+
+// TestStabilitySkipAfterStableEpochs: once the search winner repeats for
+// StabilityEpochs consecutive epochs, the next busy IPI-dominant epoch
+// must reinstate it directly instead of re-running the search.
+func TestStabilitySkipAfterStableEpochs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMicroCores = 2
+	cfg.StabilityEpochs = 2
+	clock, h, c := counterWorld(t, 6, cfg)
+	// Two full searches, both won by size 1 (equal samples tie-break down).
+	for epoch := 0; epoch < 2; epoch++ {
+		bump(h, "yield.ipi", 100)
+		clock.RunUntil(clock.Now() + 10*simtime.Millisecond)
+		for _, n := range []uint64{50, 50} {
+			bump(h, "yield.ipi", n)
+			clock.RunUntil(clock.Now() + 10*simtime.Millisecond)
+		}
+		// Skip ahead to just before the next epoch boundary.
+		clock.RunUntil(clock.Now() + 999*simtime.Millisecond)
+	}
+	if got := c.Counters.Value("adaptive.ipi_search"); got != 2 {
+		t.Fatalf("adaptive.ipi_search = %d, want 2", got)
+	}
+	// Third busy epoch: the streak (2) has reached StabilityEpochs.
+	bump(h, "yield.ipi", 100)
+	clock.RunUntil(clock.Now() + 11*simtime.Millisecond)
+	if got := c.Counters.Value("adaptive.stability_skip"); got != 1 {
+		t.Fatalf("adaptive.stability_skip = %d, want 1 (counters: %s)", got, c.Counters)
+	}
+	if got := c.Counters.Value("adaptive.ipi_search"); got != 2 {
+		t.Fatalf("search re-ran despite a stable winner: adaptive.ipi_search = %d", got)
+	}
+	if h.MicroCount() != 1 {
+		t.Fatalf("stability skip installed %d micro cores, want 1", h.MicroCount())
+	}
+	if d := lastDecision(t, c); d.Reason != DecisionStabilitySkip {
+		t.Fatalf("decision reason %s, want stability-skip", d.Reason)
+	}
+}
+
+// TestDecisionRingBounded: the audit ring retains the newest DecisionDepth
+// entries oldest-first while the exact total keeps counting.
+func TestDecisionRingBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ProfileInterval = simtime.Millisecond
+	cfg.EpochInterval = 2 * simtime.Millisecond
+	cfg.DecisionDepth = 4
+	clock, _, c := counterWorld(t, 4, cfg)
+	clock.RunUntil(50 * simtime.Millisecond) // idle: one decision per 3 ms round
+	total := c.DecisionTotal()
+	if total <= 4 {
+		t.Fatalf("only %d decisions in 50 ms, want > 4", total)
+	}
+	decs := c.Decisions()
+	if len(decs) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(decs))
+	}
+	for i := 1; i < len(decs); i++ {
+		if decs[i].Time <= decs[i-1].Time || decs[i].Epoch <= decs[i-1].Epoch {
+			t.Fatalf("ring not oldest-first: %+v", decs)
+		}
+	}
+	if decs[len(decs)-1].Epoch != total {
+		t.Fatalf("newest entry epoch %d, want %d (one idle decision per round)",
+			decs[len(decs)-1].Epoch, total)
+	}
+}

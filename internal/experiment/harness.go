@@ -124,6 +124,7 @@ type PostRun struct {
 	Result *Result
 	HV     *hv.Hypervisor
 	Obs    *obs.Observer
+	Ctrl   *core.Controller
 	Now    simtime.Time
 }
 
@@ -219,6 +220,13 @@ type Result struct {
 	// LostIPIs is the number of interrupts still in the hypervisor's
 	// lost-IPI ledger at run end — a converged recovery run drains it to 0.
 	LostIPIs int
+	// Decisions is the adaptive controller's retained decision audit ring
+	// (oldest first) and DecisionCount its exact total including aged-out
+	// entries. Decisions carry no domain identifiers, so the conformance
+	// harness requires the trail to be bit-identical across the relabel,
+	// observer and trace metamorphic relations.
+	Decisions     []core.DecisionEvent
+	DecisionCount uint64
 }
 
 // VM returns the result of the named VM.
@@ -397,6 +405,11 @@ func Run(s Setup) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if observer != nil {
+		// Flight dumps include the controller's recent decisions, so a dump
+		// shows what the sizing loop was doing when the trigger fired.
+		observer.SetDecisionTail(func() []obs.DecisionRecord { return decisionRecords(ctrl) })
+	}
 	var rivalStart func()
 	if s.Rival != RivalNone {
 		rivalStart, err = attachRival(h, s.Rival)
@@ -453,13 +466,15 @@ func Run(s Setup) (res *Result, err error) {
 		res.Telemetry = observer.Summary(clock.Now())
 		res.Telemetry.MTTR = res.MTTR
 		res.Telemetry.Repairs = int(res.RepairCount)
+		res.Telemetry.Decisions = decisionRecords(ctrl)
+		res.Telemetry.DecisionCount = res.DecisionCount
 	}
 	if s.TraceExport != nil {
 		names := make(map[int16]string, len(kernels))
 		for i, k := range kernels {
 			names[int16(k.Dom.ID)] = s.VMs[i].Name
 		}
-		meta := obs.ExportMeta{DomainNames: names}
+		meta := obs.ExportMeta{DomainNames: names, Decisions: decisionRecords(ctrl)}
 		if res.Telemetry != nil {
 			// Embed the span/stage aggregates so microtrace blame can
 			// recompute the attribution table offline from the trace alone.
@@ -469,7 +484,7 @@ func Run(s Setup) (res *Result, err error) {
 			return nil, fmt.Errorf("experiment: trace export: %v", err)
 		}
 	}
-	pr := &PostRun{Setup: &s, Result: res, HV: h, Obs: observer, Now: clock.Now()}
+	pr := &PostRun{Setup: &s, Result: res, HV: h, Obs: observer, Ctrl: ctrl, Now: clock.Now()}
 	if s.PostCheck != nil {
 		if cerr := s.PostCheck(pr); cerr != nil {
 			return nil, fmt.Errorf("experiment: post-run check: %w", cerr)
@@ -560,6 +575,9 @@ func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.
 		SymbolHits: ctrl.SymbolHits,
 		MicroAvg:   ctrl.MicroGauge.TimeAverage(int64(h.Clock.Now())),
 		Duration:   s.Duration,
+
+		Decisions:     ctrl.Decisions(),
+		DecisionCount: ctrl.DecisionTotal(),
 	}
 	for i, k := range kernels {
 		d := k.Dom
@@ -591,6 +609,25 @@ func collect(s Setup, h *hv.Hypervisor, ctrl *core.Controller, kernels []*guest.
 		})
 	}
 	return res
+}
+
+// decisionRecords renders the controller's retained audit trail as obs
+// records (reason names instead of enums, flattened samples) for flight
+// dumps, run summaries and trace export.
+func decisionRecords(ctrl *core.Controller) []obs.DecisionRecord {
+	evs := ctrl.Decisions()
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]obs.DecisionRecord, len(evs))
+	for i, d := range evs {
+		out[i] = obs.DecisionRecord{
+			Time: d.Time, Epoch: d.Epoch, Reason: d.Reason.String(),
+			Chosen: d.Chosen, Ceiling: d.Ceiling,
+			IPIs: d.Run.IPIs, PLEs: d.Run.PLEs, IRQs: d.Run.IRQs,
+		}
+	}
+	return out
 }
 
 // offConfig is the vanilla-Xen baseline.

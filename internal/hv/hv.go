@@ -552,6 +552,11 @@ type Hooks struct {
 	// (it enters the LostIPI ledger for the recovery supervisor to
 	// re-drive) instead of the deliver-anyway backstop.
 	IPILoss func(vec Vector) bool
+	// OnCapacityChange fires after a pCPU hot-unplug or replug changes the
+	// machine-wide online count, with the new count. The adaptive
+	// controller re-syncs its pool-size gauge and re-profiles on it:
+	// capacity loss can shrink the micro pool under the controller's feet.
+	OnCapacityChange func(online int)
 }
 
 // Hypervisor ties the machine together.
@@ -583,6 +588,13 @@ type Hypervisor struct {
 	lostSeq  uint64
 
 	stoleNext bool // pickNext→dispatch handoff: the pick came from a steal
+
+	// microSince/microArea integrate the micro pool's size over time
+	// (core·ns), maintained at every pool-membership change. The ledger is
+	// independent of the controller's MicroGauge so the conformance harness
+	// can reconcile the two (the gauge-integral law).
+	microSince simtime.Time
+	microArea  int64
 
 	started bool
 }
@@ -672,6 +684,22 @@ func (h *Hypervisor) MicroPool() *Pool { return h.micro }
 
 // MicroCount returns the number of pCPUs currently in the micro pool.
 func (h *Hypervisor) MicroCount() int { return len(h.micro.pcpus) }
+
+// accrueMicro folds the interval elapsed at the current micro-pool size
+// into the size-over-time integral. Call immediately before any change to
+// the micro pool's membership.
+func (h *Hypervisor) accrueMicro() {
+	now := h.Clock.Now()
+	h.microArea += int64(len(h.micro.pcpus)) * int64(now-h.microSince)
+	h.microSince = now
+}
+
+// MicroCoreNs returns the time integral of the micro pool's size over
+// [0, now] in core·nanoseconds — the hypervisor-side residency ledger the
+// conformance harness reconciles against the controller's MicroGauge.
+func (h *Hypervisor) MicroCoreNs(now simtime.Time) int64 {
+	return h.microArea + int64(len(h.micro.pcpus))*int64(now-h.microSince)
+}
 
 // Domains returns the created domains.
 func (h *Hypervisor) Domains() []*Domain { return h.domains }

@@ -168,6 +168,7 @@ func (h *Hypervisor) GrowMicro() bool {
 		h.dequeue(v)
 		h.requeueElsewhere(v, p)
 	}
+	h.accrueMicro()
 	h.removePCPU(h.normal, p)
 	p.pool = h.micro
 	p.lastRan = nil
@@ -198,6 +199,7 @@ func (h *Hypervisor) ShrinkMicro() bool {
 		h.dequeue(v)
 		h.sendHome(v)
 	}
+	h.accrueMicro()
 	h.micro.pcpus = h.micro.pcpus[:n-1]
 	h.micro.reindex()
 	p.pool = h.normal
@@ -316,6 +318,9 @@ func (h *Hypervisor) OfflinePCPU(id int) error {
 			h.requeueElsewhere(v, p)
 		}
 	}
+	if fromMicro {
+		h.accrueMicro()
+	}
 	h.removePCPU(p.pool, p)
 	p.pool = nil
 	p.lastRan = nil
@@ -324,6 +329,9 @@ func (h *Hypervisor) OfflinePCPU(id int) error {
 	// resumes it on the original stagger grid.
 	h.count("hotplug.offline")
 	h.emit(trace.KindHotplug, nil, 0, uint64(p.ID))
+	if h.Hooks.OnCapacityChange != nil {
+		h.Hooks.OnCapacityChange(h.OnlinePCPUs())
+	}
 	return nil
 }
 
@@ -346,6 +354,9 @@ func (h *Hypervisor) OnlinePCPU(id int) error {
 	h.count("hotplug.online")
 	h.emit(trace.KindHotplug, nil, 1, uint64(p.ID))
 	h.schedule(p)
+	if h.Hooks.OnCapacityChange != nil {
+		h.Hooks.OnCapacityChange(h.OnlinePCPUs())
+	}
 	return nil
 }
 

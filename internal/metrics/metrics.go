@@ -383,6 +383,20 @@ func (g *Gauge) TimeAverage(now int64) float64 {
 	return area / float64(now-g.start)
 }
 
+// Integral returns the integral of the step function over [start, now]
+// (value·ns). For small integer-valued gauges the float64 sum is exact, so
+// conformance laws can compare it against an integer ledger directly.
+func (g *Gauge) Integral(now int64) float64 {
+	if !g.started {
+		return 0
+	}
+	area := g.area
+	if now > g.lastTime {
+		area += g.value * float64(now-g.lastTime)
+	}
+	return area
+}
+
 // Set is a registry of named counters, letting subsystems export counts
 // without cross-package coupling.
 type Set struct {

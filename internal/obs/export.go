@@ -21,11 +21,20 @@ type ExportMeta struct {
 	// its stage decomposition in args. microtrace blame recomputes the
 	// attribution table offline from these events.
 	Spans []SpanStat
+	// Decisions, when non-nil, embeds the adaptive controller's decision
+	// trail as "i" instant events on a synthetic "controller" process
+	// (pid=-3): one instant per sizing decision, named by its reason, with
+	// the chosen size, live ceiling and classified sample in args.
+	Decisions []DecisionRecord
 }
 
 // blamePID is the synthetic trace-event process carrying span/stage
-// aggregates (pid=-1 is the host row).
-const blamePID = -2
+// aggregates (pid=-1 is the host row); ctrlPID carries the adaptive
+// controller's decision trail.
+const (
+	blamePID = -2
+	ctrlPID  = -3
+)
 
 // chromeHeader/chromeFooter frame the trace-event JSON object. Perfetto and
 // chrome://tracing both load this shape directly.
@@ -140,6 +149,7 @@ func WriteChromeTrace(w io.Writer, recs []trace.Record, meta ExportMeta) error {
 		return e.err
 	}
 	e.spanAggregates(meta.Spans)
+	e.controllerDecisions(meta.Decisions)
 	if len(seenDom) > 0 || e.n > 0 {
 		e.emitf(`{"ph":"M","pid":-1,"name":"process_name","args":{"name":"host"}}`)
 	}
@@ -205,6 +215,22 @@ func (e *chromeEmitter) spanAggregates(spans []SpanStat) {
 	if emitted {
 		e.emitf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"latency attribution"}}`, blamePID)
 	}
+}
+
+// controllerDecisions emits one "i" instant per retained sizing decision on
+// the synthetic controller process: ts=decision time, name=the reason, and
+// the full audit record in args, keyed by cat="controller".
+func (e *chromeEmitter) controllerDecisions(decs []DecisionRecord) {
+	if len(decs) == 0 {
+		return
+	}
+	for _, d := range decs {
+		e.emitf(`{"ph":"i","s":"p","pid":%d,"tid":0,"ts":%s,"name":%s,"cat":"controller","args":{"epoch":%d,"micro_cores":%d,"ceiling":%d,"ipis":%d,"ples":%d,"irqs":%d}}`,
+			ctrlPID, usec(d.Time), jsonString(d.Reason),
+			d.Epoch, d.Chosen, d.Ceiling, d.IPIs, d.PLEs, d.IRQs)
+	}
+	e.emitf(`{"ph":"M","pid":%d,"tid":0,"name":"thread_name","args":{"name":"decisions"}}`, ctrlPID)
+	e.emitf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":"controller"}}`, ctrlPID)
 }
 
 func (e *chromeEmitter) instant(r trace.Record, suffix string) {

@@ -38,9 +38,10 @@ type FlightDump struct {
 	OpenSpans []OpenSpan      `json:"open_spans,omitempty"`
 	// OpenByKind attributes the open spans to their kinds (kinds with none
 	// open are omitted), so a dump names what leaked at a glance.
-	OpenByKind map[string]int `json:"open_by_kind,omitempty"`
-	Trace      []FlightRecord `json:"trace,omitempty"`
-	Repairs    []RepairRecord `json:"repairs,omitempty"`
+	OpenByKind map[string]int   `json:"open_by_kind,omitempty"`
+	Trace      []FlightRecord   `json:"trace,omitempty"`
+	Repairs    []RepairRecord   `json:"repairs,omitempty"`
+	Decisions  []DecisionRecord `json:"decisions,omitempty"`
 
 	// File is where the dump was written (empty for in-memory dumps).
 	File string `json:"-"`
@@ -79,6 +80,9 @@ func (o *Observer) Flight(now simtime.Time, reason, detail string, tail []trace.
 	}
 	if o.repairTail != nil {
 		d.Repairs = o.repairTail()
+	}
+	if o.decisionTail != nil {
+		d.Decisions = o.decisionTail()
 	}
 	for _, r := range tail {
 		d.Trace = append(d.Trace, FlightRecord{
@@ -127,6 +131,27 @@ type RepairRecord struct {
 // SetRepairTail registers a provider for the recovery supervisor's recent
 // RepairEvents; every subsequent flight dump includes its result.
 func (o *Observer) SetRepairTail(fn func() []RepairRecord) { o.repairTail = fn }
+
+// DecisionRecord is one adaptive-controller sizing decision rendered
+// self-contained for flight dumps, run summaries and trace export (the
+// controller keeps the typed events; obs only carries them so it need not
+// import the core package).
+type DecisionRecord struct {
+	Time    simtime.Time `json:"t_ns"`
+	Epoch   uint64       `json:"epoch"`
+	Reason  string       `json:"reason"`
+	Chosen  int          `json:"micro_cores"`
+	Ceiling int          `json:"ceiling"`
+	IPIs    uint64       `json:"ipis"`
+	PLEs    uint64       `json:"ples"`
+	IRQs    uint64       `json:"irqs"`
+}
+
+// SetDecisionTail registers a provider for the adaptive controller's
+// retained decision trail; every subsequent flight dump includes its
+// result, so a dump shows what the controller was thinking when the
+// trigger fired.
+func (o *Observer) SetDecisionTail(fn func() []DecisionRecord) { o.decisionTail = fn }
 
 // Flights returns the retained dumps.
 func (o *Observer) Flights() []FlightDump { return o.flights }

@@ -139,6 +139,10 @@ type Observer struct {
 	// repairTail, when set (SetRepairTail), supplies the recovery
 	// supervisor's recent RepairEvents for flight dumps.
 	repairTail func() []RepairRecord
+
+	// decisionTail, when set (SetDecisionTail), supplies the adaptive
+	// controller's retained decision trail for flight dumps.
+	decisionTail func() []DecisionRecord
 }
 
 // New constructs an observer.
@@ -412,6 +416,13 @@ type Summary struct {
 	// stamped by the experiment harness after the run.
 	MTTR    simtime.Duration `json:"mttr_ns,omitempty"`
 	Repairs int              `json:"repairs,omitempty"`
+
+	// Decisions is the adaptive controller's retained decision audit trail
+	// (oldest first; bounded ring) and DecisionCount its exact total
+	// including aged-out entries. Both are stamped by the experiment
+	// harness after the run; empty when the controller was off.
+	Decisions     []DecisionRecord `json:"decisions,omitempty"`
+	DecisionCount uint64           `json:"decision_count,omitempty"`
 }
 
 // BusiestPCPU returns the pCPU with the most accumulated execution time
